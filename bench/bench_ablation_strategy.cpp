@@ -1,0 +1,43 @@
+// Ablation: the router's crossing strategy (DESIGN.md choice). Balanced
+// models a converged iterative-improvement router; Nearest is a greedy
+// one-pass router. The difference is confined to the multi-gap windows at
+// the right end of each line, so Balanced <= Nearest everywhere.
+#include <cstdio>
+
+#include "assign/dfa.h"
+#include "assign/ifa.h"
+#include "assign/random_assigner.h"
+#include "bench_common.h"
+#include "io/table.h"
+#include "route/router.h"
+
+int main() {
+  using namespace fp;
+
+  TablePrinter table({"Input case", "rand bal", "rand near", "IFA bal",
+                      "IFA near", "DFA bal", "DFA near"});
+  for (int i = 0; i < 5; ++i) {
+    const CircuitSpec spec = CircuitGenerator::table1(i);
+    const Package package = CircuitGenerator::generate(spec);
+    const PackageAssignment random_a = RandomAssigner(1).assign(package);
+    const PackageAssignment ifa_a = IfaAssigner().assign(package);
+    const PackageAssignment dfa_a = DfaAssigner().assign(package);
+    table.add_row(
+        {spec.name,
+         std::to_string(
+             max_density(package, random_a, CrossingStrategy::Balanced)),
+         std::to_string(
+             max_density(package, random_a, CrossingStrategy::Nearest)),
+         std::to_string(
+             max_density(package, ifa_a, CrossingStrategy::Balanced)),
+         std::to_string(
+             max_density(package, ifa_a, CrossingStrategy::Nearest)),
+         std::to_string(
+             max_density(package, dfa_a, CrossingStrategy::Balanced)),
+         std::to_string(
+             max_density(package, dfa_a, CrossingStrategy::Nearest))});
+  }
+  std::printf("Ablation -- crossing strategy (balanced vs nearest/greedy)\n%s\n",
+              table.str().c_str());
+  return 0;
+}

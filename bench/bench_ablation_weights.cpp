@@ -1,0 +1,59 @@
+// Ablation: the Eq.-(3) weights (lambda, rho, phi). The paper never
+// publishes its weights, so this sweep documents the trade-off the
+// defaults were chosen on: lambda drives IR-drop improvement, rho caps the
+// density growth the exchange is allowed to pay, phi drives the stacking
+// bonding-wire metric.
+#include <cstdio>
+
+#include "assign/dfa.h"
+#include "bench_common.h"
+#include "io/table.h"
+#include "util/strings.h"
+
+namespace {
+
+struct Row {
+  double lambda, rho, phi;
+};
+
+}  // namespace
+
+int main() {
+  using namespace fp;
+
+  CircuitSpec spec = CircuitGenerator::table1(0);
+  spec.tier_count = 4;  // exercise all three cost terms at once
+  const Package package = CircuitGenerator::generate(spec);
+
+  const Row rows[] = {
+      {0.0, 2.0, 1.0},   // no IR term
+      {20.0, 0.0, 1.0},  // unconstrained density
+      {20.0, 2.0, 0.0},  // no bonding term
+      {20.0, 2.0, 1.0},  // defaults
+      {100.0, 2.0, 1.0}, // IR-dominated
+      {20.0, 20.0, 1.0}, // density-dominated
+      {20.0, 2.0, 10.0}, // bonding-dominated
+  };
+
+  TablePrinter table({"lambda", "rho", "phi", "den DFA", "den exch",
+                      "impr IR (%)", "impr bonding (%)"});
+  for (const Row& row : rows) {
+    FlowOptions options;
+    options.method = AssignmentMethod::Dfa;
+    options.grid_spec = bench::standard_grid();
+    options.exchange = bench::standard_exchange();
+    options.exchange.lambda = row.lambda;
+    options.exchange.rho = row.rho;
+    options.exchange.phi = row.phi;
+    const FlowResult result = CodesignFlow(options).run(package);
+    table.add_row({format_fixed(row.lambda, 0), format_fixed(row.rho, 0),
+                   format_fixed(row.phi, 0),
+                   std::to_string(result.max_density_initial),
+                   std::to_string(result.max_density_final),
+                   format_fixed(result.ir_improvement_percent(), 2),
+                   format_fixed(result.bonding_improvement_percent(), 2)});
+  }
+  std::printf("Ablation -- Eq.-(3) weight sweep on circuit1, psi = 4\n%s\n",
+              table.str().c_str());
+  return 0;
+}

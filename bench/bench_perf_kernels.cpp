@@ -1,0 +1,110 @@
+// Google-benchmark microbenchmarks of the core kernels, backing the
+// paper's "runtimes for all cases are within seconds" claim: the three
+// assigners, the congestion estimator, the Eq.-(1) solvers and the full
+// co-design flow.
+#include <benchmark/benchmark.h>
+
+#include "assign/dfa.h"
+#include "assign/ifa.h"
+#include "assign/random_assigner.h"
+#include "bench_common.h"
+#include "route/density.h"
+#include "route/router.h"
+
+namespace {
+
+using namespace fp;
+
+const Package& circuit(int index) {
+  static std::vector<Package> packages = [] {
+    std::vector<Package> out;
+    for (int i = 0; i < 5; ++i) {
+      out.push_back(CircuitGenerator::generate(CircuitGenerator::table1(i)));
+    }
+    return out;
+  }();
+  return packages[static_cast<std::size_t>(index)];
+}
+
+void BM_RandomAssign(benchmark::State& state) {
+  const Package& package = circuit(static_cast<int>(state.range(0)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomAssigner(seed++).assign(package));
+  }
+}
+BENCHMARK(BM_RandomAssign)->DenseRange(0, 4);
+
+void BM_Ifa(benchmark::State& state) {
+  const Package& package = circuit(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IfaAssigner().assign(package));
+  }
+}
+BENCHMARK(BM_Ifa)->DenseRange(0, 4);
+
+void BM_Dfa(benchmark::State& state) {
+  const Package& package = circuit(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DfaAssigner().assign(package));
+  }
+}
+BENCHMARK(BM_Dfa)->DenseRange(0, 4);
+
+void BM_DensityMap(benchmark::State& state) {
+  const Package& package = circuit(static_cast<int>(state.range(0)));
+  const PackageAssignment assignment = DfaAssigner().assign(package);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_density(package, assignment));
+  }
+}
+BENCHMARK(BM_DensityMap)->DenseRange(0, 4);
+
+void BM_Router(benchmark::State& state) {
+  const Package& package = circuit(static_cast<int>(state.range(0)));
+  const PackageAssignment assignment = DfaAssigner().assign(package);
+  const MonotonicRouter router;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(package, assignment));
+  }
+}
+BENCHMARK(BM_Router)->DenseRange(0, 4);
+
+void BM_Solver(benchmark::State& state) {
+  PowerGridSpec spec = bench::standard_grid();
+  spec.nodes_per_side = static_cast<int>(state.range(1));
+  PowerGrid grid(spec);
+  std::vector<IPoint> pads;
+  for (int i = 0; i < 16; ++i) {
+    pads.push_back(ring_slot_node(i * 8, 128, grid.k()));
+  }
+  grid.set_pads(pads);
+  SolverOptions options;
+  options.kind = static_cast<SolverKind>(state.range(0));
+  options.tolerance = 1e-8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve(grid, options));
+  }
+}
+BENCHMARK(BM_Solver)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {16, 32, 48}})
+    ->ArgNames({"kind", "k"});
+
+void BM_FullFlow(benchmark::State& state) {
+  const Package& package = circuit(static_cast<int>(state.range(0)));
+  FlowOptions options;
+  options.method = AssignmentMethod::Dfa;
+  options.grid_spec = bench::standard_grid();
+  options.grid_spec.nodes_per_side = 16;
+  options.exchange = bench::standard_exchange();
+  options.exchange.schedule.moves_per_temperature = 16;
+  options.exchange.schedule.cooling = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CodesignFlow(options).run(package));
+  }
+}
+BENCHMARK(BM_FullFlow)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

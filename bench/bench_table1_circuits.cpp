@@ -1,0 +1,39 @@
+// Regenerates Table 1: the experimental data of the five test circuits.
+// Every geometric column is the published value; the bump-row structure is
+// the synthetic completion described in DESIGN.md.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "io/table.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace fp;
+
+  TablePrinter table({"Input case", "Finger/pad counts", "Bump ball space (um)",
+                      "Finger width (um)", "Finger height (um)",
+                      "Finger space (um)", "Rows/quadrant",
+                      "Bumps/quadrant rows"});
+  for (int i = 0; i < 5; ++i) {
+    const CircuitSpec spec = CircuitGenerator::table1(i);
+    const Package package = CircuitGenerator::generate(spec);
+    std::string rows;
+    const Quadrant& q = package.quadrant(0);
+    for (int r = q.row_count() - 1; r >= 0; --r) {
+      rows += std::to_string(q.bumps_in_row(r));
+      if (r > 0) rows += "/";
+    }
+    table.add_row({spec.name, std::to_string(spec.finger_count),
+                   format_fixed(spec.bump_space_um, 1),
+                   format_fixed(spec.finger_width_um, 3),
+                   format_fixed(spec.finger_height_um, 1),
+                   format_fixed(spec.finger_space_um, 3),
+                   std::to_string(spec.rows_per_quadrant), rows});
+  }
+  std::printf("Table 1 -- experimental data of the test circuits\n%s\n",
+              table.str().c_str());
+  std::printf("(Columns 2-6 are the paper's published values; the last two "
+              "describe the\nsynthetic bump completion, innermost row "
+              "first.)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Scenario: package feasibility sign-off before committing to a substrate.
+//
+// Given a candidate package, the flow answers: does a legal monotonic
+// routing exist, does it meet the wire-pitch design rules, how hot are the
+// quadrant cut-lines, would free via placement help, and what is the
+// worst-case core IR-drop? This is the "is this package viable" checklist
+// a co-design team runs per floorplan iteration, built entirely from
+// fpkit's public API.
+//
+// Build & run:  ./build/examples/package_signoff
+#include <cstdio>
+
+#include "assign/dfa.h"
+#include "codesign/flow.h"
+#include "package/circuit_generator.h"
+#include "power/spice_export.h"
+#include "route/cutline.h"
+#include "route/design_rules.h"
+#include "route/density.h"
+#include "route/global_router.h"
+#include "route/legality.h"
+#include "route/render.h"
+
+int main() {
+  using namespace fp;
+
+  CircuitSpec spec = CircuitGenerator::table1(4);  // 448 pads, worst case
+  spec.name = "candidate-package";
+  const Package package = CircuitGenerator::generate(spec);
+  std::printf("sign-off for '%s': %d finger/pads\n\n", spec.name.c_str(),
+              package.finger_count());
+
+  // 1. Plan and verify legality.
+  const PackageAssignment plan = DfaAssigner().assign(package);
+  bool legal = true;
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    legal = legal && is_monotone_legal(package.quadrant(qi),
+                                       plan.quadrants[static_cast<std::size_t>(qi)]);
+  }
+  std::printf("[1] monotonic routability : %s\n", legal ? "PASS" : "FAIL");
+
+  // 2. Design rules at the target wire pitch.
+  DrcRules rules;
+  rules.wire_width_um = 0.06;
+  rules.wire_space_um = 0.06;
+  const DrcReport drc = check_design_rules(package, plan, rules);
+  std::printf("[2] DRC @ %.2f um pitch    : %s (%zu violating gaps, "
+              "overflow %d, capacity %d)\n",
+              rules.wire_pitch_um(), drc.clean() ? "PASS" : "FAIL",
+              drc.violations.size(), drc.total_overflow,
+              drc.min_gap_capacity);
+
+  // 3. Cut-line congestion between the four independently planned parts.
+  const CutLineReport cutline = analyze_cut_lines(package, plan);
+  std::printf("[3] cut-line congestion   : max %d (boundaries",
+              cutline.max_density);
+  for (const int b : cutline.boundary_max) std::printf(" %d", b);
+  std::printf(")\n");
+
+  // 4. Would free via placement buy margin?
+  const GlobalRouter router;
+  int fixed_max = 0;
+  int improved_max = 0;
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    const Quadrant& q = package.quadrant(qi);
+    const QuadrantAssignment& qa =
+        plan.quadrants[static_cast<std::size_t>(qi)];
+    fixed_max = std::max(
+        fixed_max,
+        router.evaluate(q, qa, GlobalRouter::fixed_config(q, qa))
+            .max_density());
+    improved_max = std::max(
+        improved_max, router.evaluate(q, qa, router.improve(q, qa))
+                          .max_density());
+  }
+  std::printf("[4] via-planning headroom : %d -> %d max density\n",
+              fixed_max, improved_max);
+
+  // 5. Core IR-drop, after the exchange step, plus a SPICE deck for
+  //    external sign-off.
+  FlowOptions options;
+  options.method = AssignmentMethod::Dfa;
+  options.grid_spec.nodes_per_side = 32;
+  const FlowResult flow = CodesignFlow(options).run(package);
+  std::printf("[5] core max IR-drop      : %.1f mV (%.1f%% better than "
+              "pre-exchange)\n",
+              flow.ir_final.max_drop_v * 1e3,
+              flow.ir_improvement_percent());
+
+  PowerGrid grid(options.grid_spec);
+  const PadRing ring(package, grid.k());
+  grid.set_pads(ring.supply_nodes(flow.final));
+  save_spice_deck(grid, "signoff_mesh.sp", "candidate-package power mesh");
+
+  // 6. Which supply pads are load-bearing? (leave-one-out criticality)
+  const std::vector<PadCriticality> ranking = pad_criticality(grid);
+  std::printf("[6] most critical pads    :");
+  for (std::size_t i = 0; i < 3 && i < ranking.size(); ++i) {
+    std::printf(" (%d,%d)+%.1fmV", ranking[i].node.x, ranking[i].node.y,
+                ranking[i].drop_increase_v * 1e3);
+  }
+  std::printf("  least: +%.2fmV\n", ranking.back().drop_increase_v * 1e3);
+
+  save_congestion_map_svg(package.quadrant(0),
+                          DensityMap(package.quadrant(0),
+                                     flow.final.quadrants[0]),
+                          "bottom quadrant congestion",
+                          "signoff_congestion.svg");
+  std::printf("\nwrote signoff_mesh.sp (SPICE) and signoff_congestion.svg\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "assign/assigner.h"
+
+namespace fp {
+
+PackageAssignment Assigner::assign(const Package& package) const {
+  PackageAssignment result;
+  result.quadrants.reserve(static_cast<std::size_t>(package.quadrant_count()));
+  for (const Quadrant& quadrant : package.quadrants()) {
+    result.quadrants.push_back(assign(quadrant));
+  }
+  return result;
+}
+
+}  // namespace fp

@@ -1,0 +1,30 @@
+// Common interface of the congestion-driven finger/pad assignment methods
+// (Section 3.1 of the paper): the random monotone baseline, IFA and DFA.
+// Every assigner guarantees a monotonically legal order by construction.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "package/assignment.h"
+#include "package/package.h"
+#include "package/quadrant.h"
+
+namespace fp {
+
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Assigns one quadrant's nets to its finger slots.
+  [[nodiscard]] virtual QuadrantAssignment assign(
+      const Quadrant& quadrant) const = 0;
+
+  /// Assigns every quadrant independently (the paper plans the four package
+  /// parts separately).
+  [[nodiscard]] PackageAssignment assign(const Package& package) const;
+};
+
+}  // namespace fp

@@ -1,0 +1,58 @@
+#include "assign/dfa.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fp {
+
+DfaAssigner::DfaAssigner(int cut_line_n) : cut_line_n_(cut_line_n) {
+  require(cut_line_n >= 1, "DFA: cut-line n must be >= 1 (Fig. 11)");
+}
+
+QuadrantAssignment DfaAssigner::assign(const Quadrant& quadrant) const {
+  const int alpha = quadrant.finger_count();
+  QuadrantAssignment result;
+  result.order.assign(static_cast<std::size_t>(alpha), kInvalidNet);
+
+  std::vector<bool> taken(static_cast<std::size_t>(alpha), false);
+  int remaining = quadrant.net_count();
+  const int used_vias = quadrant.bumps_in_row(quadrant.top_row());
+
+  for (int r = quadrant.top_row(); r >= 0; --r) {
+    const int m = quadrant.bumps_in_row(r);
+    const int total_vias = quadrant.via_slots_in_row(r);
+    const double di =
+        static_cast<double>(remaining - used_vias) /
+        static_cast<double>(total_vias + cut_line_n_);
+
+    for (int x = 1; x <= m; ++x) {
+      // Empty number EN = floor(x * DI); target the (EN+1)-th free slot.
+      int k = static_cast<int>(
+                  std::floor(static_cast<double>(x) * std::max(di, 0.0))) +
+              1;
+      const int free = alpha - (quadrant.net_count() - remaining);
+      const int same_row_after = m - x;
+      k = std::clamp(k, 1, free - same_row_after);
+      ensure(k >= 1, "DFA: ran out of free finger slots");
+
+      // Walk to the k-th unassigned slot from the left.
+      int slot = -1;
+      for (int a = 0; a < alpha; ++a) {
+        if (taken[static_cast<std::size_t>(a)]) continue;
+        if (--k == 0) {
+          slot = a;
+          break;
+        }
+      }
+      ensure(slot >= 0, "DFA: free slot walk failed");
+      taken[static_cast<std::size_t>(slot)] = true;
+      result.order[static_cast<std::size_t>(slot)] =
+          quadrant.bump_net(r, x - 1);
+      --remaining;
+    }
+  }
+  ensure(remaining == 0, "DFA: not all nets were assigned");
+  return result;
+}
+
+}  // namespace fp

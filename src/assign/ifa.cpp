@@ -1,0 +1,40 @@
+#include "assign/ifa.h"
+
+#include <algorithm>
+#include <list>
+
+namespace fp {
+
+QuadrantAssignment IfaAssigner::assign(const Quadrant& quadrant) const {
+  // std::list keeps the frequent mid-sequence insertions O(1) once the
+  // anchor iterator is found.
+  std::list<NetId> order;
+
+  const int top = quadrant.top_row();
+  for (const NetId net : quadrant.row_nets(top)) order.push_back(net);
+
+  for (int r = top - 1; r >= 0; --r) {
+    const auto& nets = quadrant.row_nets(r);
+    const auto& above = quadrant.row_nets(r + 1);
+    const int m = static_cast<int>(nets.size());
+    for (int c = 0; c < m; ++c) {
+      const NetId net = nets[static_cast<std::size_t>(c)];
+      if (c == 0) {
+        order.push_front(net);
+      } else if (c == m - 1 || c >= static_cast<int>(above.size())) {
+        order.push_back(net);
+      } else {
+        const NetId anchor = above[static_cast<std::size_t>(c)];
+        const auto it = std::find(order.begin(), order.end(), anchor);
+        ensure(it != order.end(), "IFA: anchor net missing from order");
+        order.insert(it, net);
+      }
+    }
+  }
+
+  QuadrantAssignment result;
+  result.order.assign(order.begin(), order.end());
+  return result;
+}
+
+}  // namespace fp

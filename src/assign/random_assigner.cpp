@@ -1,0 +1,43 @@
+#include "assign/random_assigner.h"
+
+#include <functional>
+
+#include "util/rng.h"
+
+namespace fp {
+
+QuadrantAssignment RandomAssigner::assign(const Quadrant& quadrant) const {
+  // Derive an independent stream per quadrant so that the four package
+  // parts get different (but reproducible) permutations.
+  std::uint64_t mix = seed_;
+  mix ^= std::hash<std::string>{}(quadrant.name()) + 0x9e3779b97f4a7c15ULL +
+         (mix << 6) + (mix >> 2);
+  mix ^= static_cast<std::uint64_t>(quadrant.net_count()) << 32;
+  Rng rng(mix);
+
+  // Uniform random merge of the row sequences: at each step pick a row with
+  // probability proportional to its remaining bumps and emit its next net.
+  const int rows = quadrant.row_count();
+  std::vector<int> cursor(static_cast<std::size_t>(rows), 0);
+  int remaining = quadrant.net_count();
+
+  QuadrantAssignment result;
+  result.order.reserve(static_cast<std::size_t>(remaining));
+  while (remaining > 0) {
+    auto pick = static_cast<int>(rng.index(static_cast<std::size_t>(remaining)));
+    for (int r = 0; r < rows; ++r) {
+      const int left =
+          quadrant.bumps_in_row(r) - cursor[static_cast<std::size_t>(r)];
+      if (pick < left) {
+        result.order.push_back(
+            quadrant.bump_net(r, cursor[static_cast<std::size_t>(r)]++));
+        break;
+      }
+      pick -= left;
+    }
+    --remaining;
+  }
+  return result;
+}
+
+}  // namespace fp

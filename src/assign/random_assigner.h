@@ -1,0 +1,29 @@
+// The paper's baseline: a random assignment that still "conforms [to] the
+// monotonic rule and other factors are ignored". Uniformly random among
+// legal orders: the rows' bump sequences are riffle-merged, preserving each
+// row's left-to-right order (the exact legality condition) while every
+// interleaving is equally likely.
+#pragma once
+
+#include <cstdint>
+
+#include "assign/assigner.h"
+
+namespace fp {
+
+class RandomAssigner final : public Assigner {
+ public:
+  explicit RandomAssigner(std::uint64_t seed = 1) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+  [[nodiscard]] QuadrantAssignment assign(
+      const Quadrant& quadrant) const override;
+
+  using Assigner::assign;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace fp

@@ -1,0 +1,33 @@
+#include "codesign/experiment.h"
+
+namespace fp {
+
+SeedSweepResult ExperimentRunner::sweep(CircuitSpec spec, int seed_count,
+                                        std::uint64_t base_seed) const {
+  require(seed_count > 0, "ExperimentRunner: seed_count must be positive");
+  SeedSweepResult result;
+  result.seeds = seed_count;
+  for (int i = 0; i < seed_count; ++i) {
+    spec.seed = base_seed + static_cast<std::uint64_t>(i);
+    const Package package = CircuitGenerator::generate(spec);
+
+    FlowOptions options = options_;
+    options.random_seed = spec.seed;
+    options.exchange.schedule.seed = spec.seed;
+    const FlowResult flow = CodesignFlow(options).run(package);
+
+    result.max_density_initial.add(flow.max_density_initial);
+    result.max_density_final.add(flow.max_density_final);
+    result.flyline_um.add(flow.flyline_initial_um);
+    result.ir_before_mv.add(flow.ir_initial.max_drop_v * 1e3);
+    result.ir_after_mv.add(flow.ir_final.max_drop_v * 1e3);
+    result.ir_improvement_pct.add(flow.ir_improvement_percent());
+    result.omega_before.add(flow.bonding_initial.omega);
+    result.omega_after.add(flow.bonding_final.omega);
+    result.bonding_improvement_pct.add(flow.bonding_improvement_percent());
+    result.runtime_s.add(flow.runtime_s);
+  }
+  return result;
+}
+
+}  // namespace fp

@@ -1,0 +1,45 @@
+// Multi-seed experiment orchestration.
+//
+// The paper evaluates one instance per circuit; since our netlists are
+// synthetic completions, any claim should be robust over the unpublished
+// degree of freedom -- the net-to-bump permutation. ExperimentRunner
+// re-generates a circuit under many seeds, runs the co-design flow on
+// each, and aggregates every reported metric into RunningStats, giving the
+// mean +- stddev rows of bench_seed_variance.
+#pragma once
+
+#include "codesign/flow.h"
+#include "package/circuit_generator.h"
+#include "util/stats.h"
+
+namespace fp {
+
+struct SeedSweepResult {
+  RunningStats max_density_initial;
+  RunningStats max_density_final;
+  RunningStats flyline_um;
+  RunningStats ir_before_mv;
+  RunningStats ir_after_mv;
+  RunningStats ir_improvement_pct;
+  RunningStats omega_before;
+  RunningStats omega_after;
+  RunningStats bonding_improvement_pct;
+  RunningStats runtime_s;
+  int seeds = 0;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(FlowOptions options) : options_(std::move(options)) {}
+
+  /// Runs the flow on `seed_count` regenerations of `spec` (seeds
+  /// base_seed, base_seed+1, ...), collecting statistics. The exchange's
+  /// annealing seed follows the circuit seed so runs stay independent.
+  [[nodiscard]] SeedSweepResult sweep(CircuitSpec spec, int seed_count,
+                                      std::uint64_t base_seed = 1) const;
+
+ private:
+  FlowOptions options_;
+};
+
+}  // namespace fp

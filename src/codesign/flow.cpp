@@ -1,0 +1,119 @@
+#include "codesign/flow.h"
+
+#include "assign/dfa.h"
+#include "assign/ifa.h"
+#include "assign/random_assigner.h"
+#include "route/router.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace fp {
+
+std::string_view to_string(AssignmentMethod method) {
+  switch (method) {
+    case AssignmentMethod::Random:
+      return "random";
+    case AssignmentMethod::Ifa:
+      return "IFA";
+    case AssignmentMethod::Dfa:
+      return "DFA";
+  }
+  return "unknown";
+}
+
+double FlowResult::ir_improvement_percent() const {
+  if (ir_initial.max_drop_v <= 0.0) return 0.0;
+  return (1.0 - ir_final.max_drop_v / ir_initial.max_drop_v) * 100.0;
+}
+
+double FlowResult::bonding_improvement_percent() const {
+  if (bonding_initial.omega <= 0) return 0.0;
+  return static_cast<double>(bonding_initial.omega - bonding_final.omega) /
+         static_cast<double>(bonding_initial.omega) * 100.0;
+}
+
+CodesignFlow::CodesignFlow(FlowOptions options)
+    : options_(std::move(options)) {}
+
+FlowResult CodesignFlow::run(const Package& package) const {
+  const Timer timer;
+  FlowResult result;
+
+  // --- step 1: congestion-driven assignment ------------------------------
+  switch (options_.method) {
+    case AssignmentMethod::Random:
+      result.initial = RandomAssigner(options_.random_seed).assign(package);
+      break;
+    case AssignmentMethod::Ifa:
+      result.initial = IfaAssigner().assign(package);
+      break;
+    case AssignmentMethod::Dfa:
+      result.initial = DfaAssigner(options_.dfa_cut_line_n).assign(package);
+      break;
+  }
+  result.max_density_initial =
+      max_density(package, result.initial, options_.routing);
+  result.flyline_initial_um = total_flyline_um(package, result.initial);
+
+  const bool has_supply = !package.netlist().supply_nets().empty();
+  if (has_supply) {
+    result.ir_initial = analyze_ir(package, result.initial,
+                                   options_.grid_spec, options_.solver);
+  }
+  result.bonding_initial =
+      analyze_bonding(package, result.initial, options_.stacking);
+
+  // --- step 2: finger/pad exchange ---------------------------------------
+  if (options_.run_exchange) {
+    ExchangeOptions exchange_options = options_.exchange;
+    exchange_options.grid_spec = options_.grid_spec;
+    exchange_options.solver = options_.solver;
+    const ExchangeOptimizer optimizer(package, exchange_options);
+    ExchangeResult exchanged = optimizer.optimize(result.initial);
+    result.final = std::move(exchanged.assignment);
+    result.anneal = exchanged.anneal;
+  } else {
+    result.final = result.initial;
+  }
+
+  result.max_density_final =
+      max_density(package, result.final, options_.routing);
+  result.flyline_final_um = total_flyline_um(package, result.final);
+  if (has_supply) {
+    result.ir_final = analyze_ir(package, result.final, options_.grid_spec,
+                                 options_.solver);
+  }
+  result.bonding_final =
+      analyze_bonding(package, result.final, options_.stacking);
+
+  result.runtime_s = timer.seconds();
+  return result;
+}
+
+std::string CodesignFlow::summary(const Package& package,
+                                  const FlowResult& result) {
+  std::string out;
+  out += "package '" + package.name() + "': " +
+         std::to_string(package.finger_count()) + " finger/pads, " +
+         std::to_string(package.netlist().tier_count()) + " tier(s)\n";
+  out += "  max density   : " + std::to_string(result.max_density_initial) +
+         " -> " + std::to_string(result.max_density_final) + "\n";
+  out += "  flyline length: " + format_fixed(result.flyline_initial_um, 1) +
+         " -> " + format_fixed(result.flyline_final_um, 1) + " um\n";
+  if (result.ir_initial.max_drop_v > 0.0) {
+    out += "  max IR-drop   : " +
+           format_fixed(result.ir_initial.max_drop_v * 1e3, 1) + " -> " +
+           format_fixed(result.ir_final.max_drop_v * 1e3, 1) + " mV  (" +
+           format_fixed(result.ir_improvement_percent(), 2) +
+           "% improvement)\n";
+  }
+  out += "  omega         : " + std::to_string(result.bonding_initial.omega) +
+         " -> " + std::to_string(result.bonding_final.omega) + "\n";
+  out += "  bonding wire  : " +
+         format_fixed(result.bonding_initial.total_um, 1) + " -> " +
+         format_fixed(result.bonding_final.total_um, 1) + " um\n";
+  out += "  runtime       : " + format_fixed(result.runtime_s, 3) + " s\n";
+  return out;
+}
+
+}  // namespace fp

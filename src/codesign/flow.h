@@ -1,0 +1,83 @@
+// The chip-package co-design flow of Fig. 1(B): congestion-driven
+// finger/pad assignment, then the IR-drop/bonding-aware exchange, with
+// before/after scoring of every metric the paper reports (max density,
+// flyline wirelength, Eq.-(1) max IR-drop, omega, bonding-wire length).
+//
+// This is the one-call public API a downstream user drives; the examples
+// and every bench harness are built on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exchange/exchange.h"
+#include "package/assignment.h"
+#include "package/package.h"
+#include "power/ir_analysis.h"
+#include "route/density.h"
+#include "stack/stacking.h"
+
+namespace fp {
+
+enum class AssignmentMethod { Random, Ifa, Dfa };
+
+[[nodiscard]] std::string_view to_string(AssignmentMethod method);
+
+struct FlowOptions {
+  AssignmentMethod method = AssignmentMethod::Dfa;
+  /// Seed for the Random assignment baseline.
+  std::uint64_t random_seed = 1;
+  /// DFA cut-line parameter n (>= 1).
+  int dfa_cut_line_n = 1;
+  /// Run the Fig.-14 exchange after the assignment step.
+  bool run_exchange = true;
+  ExchangeOptions exchange;
+  /// Mesh + solver used for before/after IR scoring.
+  PowerGridSpec grid_spec;
+  SolverOptions solver;
+  StackingSpec stacking;
+  CrossingStrategy routing = CrossingStrategy::Balanced;
+};
+
+struct FlowResult {
+  PackageAssignment initial;  // after the assignment step
+  PackageAssignment final;    // after the exchange step (== initial when
+                              // run_exchange is false)
+  int max_density_initial = 0;
+  int max_density_final = 0;
+  double flyline_initial_um = 0.0;
+  double flyline_final_um = 0.0;
+  /// Zeroed when the netlist has no supply nets.
+  IrReport ir_initial;
+  IrReport ir_final;
+  BondingWireReport bonding_initial;
+  BondingWireReport bonding_final;
+  AnnealResult anneal;
+  double runtime_s = 0.0;
+
+  /// (1 - IR_after / IR_before) * 100, the paper's Table-3 "improved
+  /// IR-drop"; 0 when IR was not evaluated.
+  [[nodiscard]] double ir_improvement_percent() const;
+  /// (omega_before - omega_after) / omega_before * 100, the paper's
+  /// Table-3 "improved bonding wire"; 0 when omega_before is 0.
+  [[nodiscard]] double bonding_improvement_percent() const;
+};
+
+class CodesignFlow {
+ public:
+  explicit CodesignFlow(FlowOptions options = {});
+
+  [[nodiscard]] const FlowOptions& options() const { return options_; }
+
+  /// Runs assignment (+ exchange) and scores every metric.
+  [[nodiscard]] FlowResult run(const Package& package) const;
+
+  /// Multi-line human-readable report of a finished run.
+  [[nodiscard]] static std::string summary(const Package& package,
+                                           const FlowResult& result);
+
+ private:
+  FlowOptions options_;
+};
+
+}  // namespace fp

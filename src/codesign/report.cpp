@@ -1,0 +1,111 @@
+#include "codesign/report.h"
+
+#include <fstream>
+
+#include "route/cutline.h"
+#include "route/design_rules.h"
+#include "util/strings.h"
+
+namespace fp {
+namespace {
+
+std::string row(const std::string& metric, const std::string& before,
+                const std::string& after) {
+  return "| " + metric + " | " + before + " | " + after + " |\n";
+}
+
+}  // namespace
+
+std::string write_flow_report(const Package& package,
+                              const FlowOptions& options,
+                              const FlowResult& result) {
+  std::string out = "# fpkit co-design report: " + package.name() + "\n\n";
+
+  out += "## Package\n\n";
+  out += "* finger/pads: " + std::to_string(package.finger_count()) + "\n";
+  out += "* nets: " + std::to_string(package.netlist().size()) + " (" +
+         std::to_string(package.netlist().count(NetType::Power)) +
+         " power, " +
+         std::to_string(package.netlist().count(NetType::Ground)) +
+         " ground)\n";
+  out += "* tiers: " + std::to_string(package.netlist().tier_count()) + "\n";
+  out += "* quadrants:";
+  for (const Quadrant& q : package.quadrants()) {
+    out += " " + q.name() + "(";
+    for (int r = 0; r < q.row_count(); ++r) {
+      if (r) out += "/";
+      out += std::to_string(q.bumps_in_row(r));
+    }
+    out += ")";
+  }
+  out += "\n\n";
+
+  out += "## Flow\n\n";
+  out += "* assignment method: " + std::string(to_string(options.method)) +
+         "\n";
+  out += "* exchange: " +
+         std::string(options.run_exchange ? "enabled" : "disabled") + "\n";
+  if (options.run_exchange) {
+    out += "* Eq.-(3) weights: lambda " +
+           format_fixed(options.exchange.lambda, 1) + ", rho " +
+           format_fixed(options.exchange.rho, 1) + ", phi " +
+           format_fixed(options.exchange.phi, 1) + "\n";
+    out += "* annealing: " + std::to_string(result.anneal.proposed) +
+           " proposed, " + std::to_string(result.anneal.accepted) +
+           " accepted, " + std::to_string(result.anneal.rejected_illegal) +
+           " illegal, " + std::to_string(result.anneal.temperature_steps) +
+           " temperature steps\n";
+  }
+  out += "* runtime: " + format_fixed(result.runtime_s, 3) + " s\n\n";
+
+  out += "## Metrics\n\n";
+  out += "| metric | after assignment | after exchange |\n";
+  out += "|---|---|---|\n";
+  out += row("max density", std::to_string(result.max_density_initial),
+             std::to_string(result.max_density_final));
+  out += row("flyline wirelength (um)",
+             format_fixed(result.flyline_initial_um, 1),
+             format_fixed(result.flyline_final_um, 1));
+  if (result.ir_initial.max_drop_v > 0.0) {
+    out += row("max IR-drop (mV)",
+               format_fixed(result.ir_initial.max_drop_v * 1e3, 2),
+               format_fixed(result.ir_final.max_drop_v * 1e3, 2) + " (" +
+                   format_fixed(result.ir_improvement_percent(), 1) +
+                   "% better)");
+  }
+  out += row("omega", std::to_string(result.bonding_initial.omega),
+             std::to_string(result.bonding_final.omega));
+  out += row("bonding wire (um)",
+             format_fixed(result.bonding_initial.total_um, 1),
+             format_fixed(result.bonding_final.total_um, 1));
+  out += row("bonding crossings",
+             std::to_string(result.bonding_initial.crossings),
+             std::to_string(result.bonding_final.crossings));
+  out += "\n";
+
+  out += "## Sign-off checks\n\n";
+  const DrcReport drc = check_design_rules(package, result.final);
+  out += "* DRC: " +
+         std::string(drc.clean() ? "clean" : "VIOLATIONS") + " (" +
+         std::to_string(drc.violations.size()) + " gaps over capacity " +
+         std::to_string(drc.min_gap_capacity) + ", overflow " +
+         std::to_string(drc.total_overflow) + ")\n";
+  const CutLineReport cutline = analyze_cut_lines(package, result.final);
+  out += "* cut-line congestion: max " +
+         std::to_string(cutline.max_density) + " (boundaries";
+  for (const int b : cutline.boundary_max) out += " " + std::to_string(b);
+  out += ")\n";
+  return out;
+}
+
+void save_flow_report(const Package& package, const FlowOptions& options,
+                      const FlowResult& result, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw IoError("save_flow_report: cannot open '" + path + "'");
+  file << write_flow_report(package, options, result);
+  if (!file) {
+    throw IoError("save_flow_report: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace fp

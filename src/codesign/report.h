@@ -1,0 +1,23 @@
+// Markdown report generation for a finished co-design run: the package
+// inventory, the before/after metric table, DRC and cut-line findings, and
+// the annealing statistics -- the artefact a team attaches to a design
+// review. Produced by `fpkit plan --report out.md`.
+#pragma once
+
+#include <string>
+
+#include "codesign/flow.h"
+#include "package/package.h"
+
+namespace fp {
+
+/// Full markdown document for one flow run on one package.
+[[nodiscard]] std::string write_flow_report(const Package& package,
+                                            const FlowOptions& options,
+                                            const FlowResult& result);
+
+/// Writes the document; throws IoError on failure.
+void save_flow_report(const Package& package, const FlowOptions& options,
+                      const FlowResult& result, const std::string& path);
+
+}  // namespace fp

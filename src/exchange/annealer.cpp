@@ -1,0 +1,62 @@
+#include "exchange/annealer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fp {
+
+Annealer::Annealer(SaSchedule schedule) : schedule_(schedule) {
+  require(schedule_.initial_temperature > 0.0 &&
+              schedule_.final_temperature > 0.0,
+          "Annealer: temperatures must be positive");
+  require(schedule_.final_temperature <= schedule_.initial_temperature,
+          "Annealer: final temperature above initial");
+  require(schedule_.cooling > 0.0 && schedule_.cooling < 1.0,
+          "Annealer: cooling factor must lie in (0, 1)");
+  require(schedule_.moves_per_temperature > 0,
+          "Annealer: moves_per_temperature must be positive");
+}
+
+AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
+                           const Undo& undo) const {
+  Rng rng(schedule_.seed);
+  AnnealResult result;
+  result.initial_cost = initial_cost;
+  result.best_cost = initial_cost;
+
+  double cost = initial_cost;
+  for (double temperature = schedule_.initial_temperature;
+       temperature > schedule_.final_temperature;
+       temperature *= schedule_.cooling) {
+    ++result.temperature_steps;
+    if (schedule_.record_every > 0 &&
+        (result.temperature_steps - 1) % schedule_.record_every == 0) {
+      result.trace.push_back(
+          AnnealSample{temperature, cost, result.accepted});
+    }
+    for (int i = 0; i < schedule_.moves_per_temperature; ++i) {
+      ++result.proposed;
+      const std::optional<double> new_cost = try_move(rng);
+      if (!new_cost.has_value()) {
+        ++result.rejected_illegal;
+        continue;
+      }
+      const double delta = *new_cost - cost;
+      const bool accept =
+          delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature);
+      if (accept) {
+        ++result.accepted;
+        cost = *new_cost;
+        result.best_cost = std::min(result.best_cost, cost);
+      } else {
+        undo();
+      }
+    }
+  }
+  result.final_cost = cost;
+  return result;
+}
+
+}  // namespace fp

@@ -1,0 +1,72 @@
+// Generic simulated-annealing driver (Kirkpatrick et al. [7], as cited by
+// the paper's Fig. 14).
+//
+// Note on fidelity: Fig. 14 line 12 accepts an uphill move when
+// "Random(0,1) > exp(-dC/T)", which inverts the Metropolis criterion and
+// would accept *more* moves the worse they are. We implement the standard
+// criterion (accept when Random(0,1) < exp(-dC/T)); the pseudocode is
+// evidently a typo since the paper cites [7] for the algorithm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fp {
+
+struct SaSchedule {
+  double initial_temperature = 1.0;
+  double final_temperature = 1e-4;
+  /// Geometric cooling factor in (0, 1).
+  double cooling = 0.98;
+  /// Proposals attempted at each temperature.
+  int moves_per_temperature = 64;
+  std::uint64_t seed = 1;
+  /// When > 0, one (temperature, cost) sample is recorded every
+  /// `record_every` temperature steps (for convergence plots).
+  int record_every = 0;
+};
+
+/// One point of the recorded cooling curve.
+struct AnnealSample {
+  double temperature = 0.0;
+  double cost = 0.0;
+  long long accepted = 0;
+};
+
+struct AnnealResult {
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  double best_cost = 0.0;
+  long long proposed = 0;
+  long long accepted = 0;
+  long long rejected_illegal = 0;
+  int temperature_steps = 0;
+  /// Non-empty when SaSchedule::record_every > 0.
+  std::vector<AnnealSample> trace;
+};
+
+class Annealer {
+ public:
+  /// A move proposal: perturbs the caller's state in place and returns the
+  /// new total cost, or nullopt when the sampled move is illegal (state
+  /// unchanged).
+  using TryMove = std::function<std::optional<double>(Rng&)>;
+  /// Reverts the last successful TryMove.
+  using Undo = std::function<void()>;
+
+  explicit Annealer(SaSchedule schedule);
+
+  /// Runs the schedule; on return the caller's state holds the last
+  /// accepted configuration.
+  AnnealResult run(double initial_cost, const TryMove& try_move,
+                   const Undo& undo) const;
+
+ private:
+  SaSchedule schedule_;
+};
+
+}  // namespace fp

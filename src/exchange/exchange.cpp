@@ -1,0 +1,199 @@
+#include "exchange/exchange.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "exchange/incremental_cost.h"
+
+#include "power/compact_model.h"
+#include "power/ir_analysis.h"
+#include "power/pad_ring.h"
+#include "route/legality.h"
+
+namespace fp {
+
+ExchangeOptimizer::ExchangeOptimizer(const Package& package,
+                                     ExchangeOptions options)
+    : package_(&package), options_(std::move(options)),
+      tier_count_(package.netlist().tier_count()) {
+  require(options_.lambda >= 0.0 && options_.rho >= 0.0 &&
+              options_.phi >= 0.0,
+          "ExchangeOptimizer: Eq.-(3) weights must be non-negative");
+}
+
+double ExchangeOptimizer::ir_cost(const PackageAssignment& assignment) const {
+  if (options_.ir_mode == IrCostMode::Exact) {
+    const IrReport report =
+        analyze_ir(*package_, assignment, options_.grid_spec,
+                   options_.solver);
+    // Scale volts into the same rough magnitude as the proxy (units around
+    // 1) so the published default weights remain sensible in both modes.
+    return report.max_drop_v / std::max(1e-12, options_.grid_spec.vdd) * 10.0;
+  }
+  if (options_.ir_mode == IrCostMode::Compact) {
+    const PadRing ring(*package_, options_.grid_spec.nodes_per_side);
+    const std::vector<IPoint> nodes = ring.supply_nodes(assignment);
+    if (nodes.empty()) return 0.0;
+    if (!compact_) {
+      compact_ =
+          std::make_unique<CompactIrModel>(PowerGrid(options_.grid_spec));
+      compact_->calibrate(nodes, options_.solver);
+    }
+    return compact_->estimate_max_drop(nodes) /
+           std::max(1e-12, options_.grid_spec.vdd) * 10.0;
+  }
+  // A stacking design without supply nets has nothing for the IR term to
+  // optimise; the cost then reduces to rho*ID + phi*omega.
+  if (package_->netlist().supply_nets().empty()) return 0.0;
+  return supply_dispersion(assignment.ring_order(), package_->netlist());
+}
+
+double ExchangeOptimizer::cost(const PackageAssignment& assignment,
+                               const IncreasedDensity& id_tracker) const {
+  const double delta_ir = ir_cost(assignment);
+  const int id = id_tracker.evaluate(assignment);
+  const int omega = omega_zero_bits(assignment.ring_order(),
+                                    package_->netlist(), tier_count_);
+  return options_.lambda * delta_ir + options_.rho * id +
+         options_.phi * omega;
+}
+
+ExchangeResult ExchangeOptimizer::optimize_multistart(
+    const PackageAssignment& initial, int starts) const {
+  require(starts >= 1, "optimize_multistart: starts must be positive");
+  std::optional<ExchangeResult> best;
+  ExchangeOptions options = options_;
+  for (int i = 0; i < starts; ++i) {
+    options.schedule.seed = options_.schedule.seed +
+                            static_cast<std::uint64_t>(i);
+    ExchangeResult candidate =
+        ExchangeOptimizer(*package_, options).optimize(initial);
+    if (!best || candidate.anneal.final_cost < best->anneal.final_cost) {
+      best = std::move(candidate);
+    }
+  }
+  return std::move(*best);
+}
+
+ExchangeResult ExchangeOptimizer::optimize(
+    const PackageAssignment& initial) const {
+  require(static_cast<int>(initial.quadrants.size()) ==
+              package_->quadrant_count(),
+          "ExchangeOptimizer: assignment/package quadrant count mismatch");
+  for (int qi = 0; qi < package_->quadrant_count(); ++qi) {
+    require(is_monotone_legal(
+                package_->quadrant(qi),
+                initial.quadrants[static_cast<std::size_t>(qi)]),
+            "ExchangeOptimizer: initial assignment is not monotone legal");
+  }
+
+  const Netlist& netlist = package_->netlist();
+  const std::vector<NetId> supply = netlist.supply_nets();
+  const bool stacking = tier_count_ > 1;
+  require(stacking || !supply.empty(),
+          "ExchangeOptimizer: 2-D exchange moves need at least one supply "
+          "net (Fig. 14 line 7)");
+
+  PackageAssignment current = initial;
+  const IncreasedDensity id_tracker(*package_, initial);
+
+  // Proxy mode evaluates Eq. (3) incrementally (O(log alpha) per swap);
+  // Compact/Exact modes re-solve their IR term anyway.
+  std::optional<IncrementalCost> incremental;
+  if (options_.ir_mode == IrCostMode::Proxy) {
+    incremental.emplace(*package_, initial, options_.lambda, options_.rho,
+                        options_.phi);
+  }
+
+  // net -> (quadrant, finger) position index, maintained across swaps.
+  std::vector<IPoint> position(netlist.size(), IPoint{-1, -1});
+  for (int qi = 0; qi < package_->quadrant_count(); ++qi) {
+    const auto& order =
+        current.quadrants[static_cast<std::size_t>(qi)].order;
+    for (int a = 0; a < static_cast<int>(order.size()); ++a) {
+      position[static_cast<std::size_t>(order[static_cast<std::size_t>(a)])] =
+          IPoint{qi, a};
+    }
+  }
+
+  struct LastMove {
+    int quadrant = -1;
+    int left = -1;  // finger index of the left element of the swapped pair
+  } last;
+
+  const auto apply_swap = [&](int qi, int left_finger) {
+    auto& order = current.quadrants[static_cast<std::size_t>(qi)].order;
+    NetId& a = order[static_cast<std::size_t>(left_finger)];
+    NetId& b = order[static_cast<std::size_t>(left_finger + 1)];
+    std::swap(a, b);
+    position[static_cast<std::size_t>(a)] = IPoint{qi, left_finger};
+    position[static_cast<std::size_t>(b)] = IPoint{qi, left_finger + 1};
+  };
+
+  const Annealer::TryMove try_move =
+      [&](Rng& rng) -> std::optional<double> {
+    // Fig. 14 lines 4-7: pick any pad for stacking ICs, a power pad for 2-D.
+    NetId chosen;
+    if (stacking) {
+      const int qi =
+          static_cast<int>(rng.index(current.quadrants.size()));
+      const auto& order =
+          current.quadrants[static_cast<std::size_t>(qi)].order;
+      chosen = order[rng.index(order.size())];
+    } else {
+      chosen = supply[rng.index(supply.size())];
+    }
+    const IPoint pos = position[static_cast<std::size_t>(chosen)];
+    const auto& order =
+        current.quadrants[static_cast<std::size_t>(pos.x)].order;
+    const int size = static_cast<int>(order.size());
+    if (size < 2) return std::nullopt;
+
+    // Fig. 14 line 8: swap with the left or the right neighbour.
+    int left = pos.y;
+    if (rng.chance(0.5)) --left;
+    if (left < 0) left = 0;
+    if (left + 1 >= size) left = size - 2;
+
+    // Range constraint: two nets bumped on the same row must keep their
+    // via order, so their adjacent swap is illegal.
+    const Quadrant& quadrant = package_->quadrant(pos.x);
+    const NetId lnet = order[static_cast<std::size_t>(left)];
+    const NetId rnet = order[static_cast<std::size_t>(left + 1)];
+    if (quadrant.net_row(lnet) == quadrant.net_row(rnet)) {
+      return std::nullopt;
+    }
+
+    apply_swap(pos.x, left);
+    last = LastMove{pos.x, left};
+    if (incremental) {
+      incremental->apply_swap(pos.x, left);
+      return incremental->current();
+    }
+    return cost(current, id_tracker);
+  };
+
+  const Annealer::Undo undo = [&]() {
+    ensure(last.quadrant >= 0, "ExchangeOptimizer: undo without a move");
+    apply_swap(last.quadrant, last.left);
+    if (incremental) incremental->undo_last();
+  };
+
+  ExchangeResult result;
+  result.ir_cost_before = ir_cost(initial);
+  result.omega_before =
+      omega_zero_bits(initial.ring_order(), netlist, tier_count_);
+
+  const Annealer annealer(options_.schedule);
+  result.anneal =
+      annealer.run(cost(initial, id_tracker), try_move, undo);
+
+  result.ir_cost_after = ir_cost(current);
+  result.omega_after =
+      omega_zero_bits(current.ring_order(), netlist, tier_count_);
+  result.increased_density = id_tracker.evaluate(current);
+  result.assignment = std::move(current);
+  return result;
+}
+
+}  // namespace fp

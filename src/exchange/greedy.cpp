@@ -1,0 +1,102 @@
+#include "exchange/greedy.h"
+
+#include <algorithm>
+
+#include "route/legality.h"
+#include "stack/stacking.h"
+
+namespace fp {
+
+GreedyExchanger::GreedyExchanger(const Package& package,
+                                 GreedyOptions options)
+    : package_(&package), options_(std::move(options)) {
+  require(options_.max_passes > 0,
+          "GreedyExchanger: max_passes must be positive");
+}
+
+ExchangeResult GreedyExchanger::optimize(
+    const PackageAssignment& initial) const {
+  require(static_cast<int>(initial.quadrants.size()) ==
+              package_->quadrant_count(),
+          "GreedyExchanger: assignment/package quadrant count mismatch");
+  for (int qi = 0; qi < package_->quadrant_count(); ++qi) {
+    require(is_monotone_legal(
+                package_->quadrant(qi),
+                initial.quadrants[static_cast<std::size_t>(qi)]),
+            "GreedyExchanger: initial assignment is not monotone legal");
+  }
+
+  const Netlist& netlist = package_->netlist();
+  const int tiers = netlist.tier_count();
+  const bool stacking = tiers > 1;
+  require(stacking || !netlist.supply_nets().empty(),
+          "GreedyExchanger: 2-D moves need at least one supply net");
+
+  const ExchangeOptimizer evaluator(*package_, options_.cost);
+  const IncreasedDensity id_tracker(*package_, initial);
+
+  PackageAssignment current = initial;
+  double cur_cost = evaluator.cost(current, id_tracker);
+
+  ExchangeResult result;
+  result.ir_cost_before = evaluator.ir_cost(initial);
+  result.omega_before = omega_zero_bits(initial.ring_order(), netlist, tiers);
+
+  long long evaluated = 0;
+  long long applied = 0;
+  int passes = 0;
+
+  for (; passes < options_.max_passes; ++passes) {
+    int best_quadrant = -1;
+    int best_left = -1;
+    double best_cost = cur_cost;
+    for (int qi = 0; qi < package_->quadrant_count(); ++qi) {
+      const Quadrant& quadrant = package_->quadrant(qi);
+      auto& order = current.quadrants[static_cast<std::size_t>(qi)].order;
+      for (int a = 0; a + 1 < static_cast<int>(order.size()); ++a) {
+        const NetId left = order[static_cast<std::size_t>(a)];
+        const NetId right = order[static_cast<std::size_t>(a + 1)];
+        // Fig.-14 move policy + range constraint.
+        if (!stacking && !is_supply(netlist.net(left).type) &&
+            !is_supply(netlist.net(right).type)) {
+          continue;
+        }
+        if (quadrant.net_row(left) == quadrant.net_row(right)) continue;
+
+        std::swap(order[static_cast<std::size_t>(a)],
+                  order[static_cast<std::size_t>(a + 1)]);
+        ++evaluated;
+        const double cost = evaluator.cost(current, id_tracker);
+        std::swap(order[static_cast<std::size_t>(a)],
+                  order[static_cast<std::size_t>(a + 1)]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_quadrant = qi;
+          best_left = a;
+        }
+      }
+    }
+    if (best_quadrant < 0) break;  // local optimum
+    auto& order =
+        current.quadrants[static_cast<std::size_t>(best_quadrant)].order;
+    std::swap(order[static_cast<std::size_t>(best_left)],
+              order[static_cast<std::size_t>(best_left + 1)]);
+    cur_cost = best_cost;
+    ++applied;
+  }
+
+  result.anneal.initial_cost = evaluator.cost(initial, id_tracker);
+  result.anneal.final_cost = cur_cost;
+  result.anneal.best_cost = cur_cost;
+  result.anneal.proposed = evaluated;
+  result.anneal.accepted = applied;
+  result.anneal.temperature_steps = passes;
+
+  result.ir_cost_after = evaluator.ir_cost(current);
+  result.omega_after = omega_zero_bits(current.ring_order(), netlist, tiers);
+  result.increased_density = id_tracker.evaluate(current);
+  result.assignment = std::move(current);
+  return result;
+}
+
+}  // namespace fp

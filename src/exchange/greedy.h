@@ -1,0 +1,36 @@
+// Deterministic best-improvement exchange (hill climbing): the natural
+// baseline to the paper's SA (Fig. 14). Same move set -- adjacent swaps
+// under the monotone range constraint, power pads only for 2-D designs --
+// same Eq.-(3) cost, but each pass applies the single best improving swap
+// and stops at a local optimum. Faster and reproducible without a seed;
+// compared against SA in bench_ablation_optimizer.
+#pragma once
+
+#include "exchange/exchange.h"
+
+namespace fp {
+
+struct GreedyOptions {
+  /// Eq.-(3) weights and IR mode are shared with the SA optimizer.
+  ExchangeOptions cost;
+  /// Upper bound on improving passes (each pass scans all legal swaps).
+  int max_passes = 200;
+};
+
+class GreedyExchanger {
+ public:
+  GreedyExchanger(const Package& package, GreedyOptions options);
+
+  /// Hill-climbs from `initial` to a local optimum of Eq. (3). The
+  /// AnnealResult in the ExchangeResult reuses its fields: proposed =
+  /// swaps evaluated, accepted = swaps applied, temperature_steps =
+  /// passes.
+  [[nodiscard]] ExchangeResult optimize(
+      const PackageAssignment& initial) const;
+
+ private:
+  const Package* package_;
+  GreedyOptions options_;
+};
+
+}  // namespace fp

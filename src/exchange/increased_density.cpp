@@ -1,0 +1,64 @@
+#include "exchange/increased_density.h"
+
+#include <algorithm>
+
+#include "package/package.h"
+#include "util/error.h"
+
+namespace fp {
+
+std::vector<int> section_loads(const Quadrant& quadrant,
+                               const QuadrantAssignment& assignment) {
+  require(assignment.size() == quadrant.finger_count(),
+          "section_loads: assignment size mismatch");
+  std::vector<int> loads;
+  loads.reserve(static_cast<std::size_t>(
+      quadrant.bumps_in_row(quadrant.top_row()) + 1));
+  int current = 0;
+  const int top = quadrant.top_row();
+  for (const NetId net : assignment.order) {
+    if (quadrant.net_row(net) == top) {
+      loads.push_back(current);
+      current = 0;
+    } else {
+      ++current;
+    }
+  }
+  loads.push_back(current);
+  return loads;
+}
+
+IncreasedDensity::IncreasedDensity(const Package& package,
+                                   const PackageAssignment& initial)
+    : package_(&package) {
+  require(static_cast<int>(initial.quadrants.size()) ==
+              package.quadrant_count(),
+          "IncreasedDensity: assignment/package quadrant count mismatch");
+  initial_loads_.reserve(initial.quadrants.size());
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    initial_loads_.push_back(
+        section_loads(package.quadrant(qi),
+                      initial.quadrants[static_cast<std::size_t>(qi)]));
+  }
+}
+
+int IncreasedDensity::evaluate(const PackageAssignment& current) const {
+  require(current.quadrants.size() == initial_loads_.size(),
+          "IncreasedDensity: quadrant count changed");
+  int worst = 0;
+  for (int qi = 0; qi < package_->quadrant_count(); ++qi) {
+    const std::vector<int> now =
+        section_loads(package_->quadrant(qi),
+                      current.quadrants[static_cast<std::size_t>(qi)]);
+    const std::vector<int>& base =
+        initial_loads_[static_cast<std::size_t>(qi)];
+    ensure(now.size() == base.size(),
+           "IncreasedDensity: section count changed");
+    for (std::size_t c = 0; c < now.size(); ++c) {
+      worst = std::max(worst, now[c] - base[c]);
+    }
+  }
+  return worst;
+}
+
+}  // namespace fp

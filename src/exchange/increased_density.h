@@ -1,0 +1,41 @@
+// The paper's increased-density estimate (Eq. (2)): a constant-time proxy
+// for how much a finger exchange worsens package congestion.
+//
+// Monotonic routing makes the highest horizontal line the densest, so only
+// it is watched. The top-row nets' INITIAL finger positions split each
+// quadrant's finger sequence into x+1 sections; I_c counts the non-top-row
+// nets inside section c. After exchanges the counts become I_c^new and
+//
+//      ID = max_c (I_c^new - I_c^ini)        (>= 0; Eq. (2))
+//
+// measures the worst crowding growth of any top-line gap.
+#pragma once
+
+#include <vector>
+
+#include "package/assignment.h"
+#include "package/package.h"
+#include "package/quadrant.h"
+
+namespace fp {
+
+/// Section loads of one quadrant: the number of non-top-row nets between
+/// consecutive top-row nets (x top-row nets => x+1 sections).
+[[nodiscard]] std::vector<int> section_loads(
+    const Quadrant& quadrant, const QuadrantAssignment& assignment);
+
+/// Tracks Eq. (2) for a whole package against the post-assignment baseline.
+class IncreasedDensity {
+ public:
+  IncreasedDensity(const Package& package,
+                   const PackageAssignment& initial);
+
+  /// max over all quadrants and sections of (I_new - I_ini), clamped at 0.
+  [[nodiscard]] int evaluate(const PackageAssignment& current) const;
+
+ private:
+  const Package* package_;
+  std::vector<std::vector<int>> initial_loads_;  // [quadrant][section]
+};
+
+}  // namespace fp

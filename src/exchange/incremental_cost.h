@@ -1,0 +1,90 @@
+// Incremental evaluation of the Eq.-(3) cost under adjacent finger swaps.
+//
+// The SA loop proposes tens of thousands of adjacent swaps; recomputing
+// dispersion, ID and omega from scratch costs O(alpha) each. Every term
+// changes only locally under an adjacent swap:
+//   * supply dispersion -- only when exactly one swapped net is a supply
+//     net: that pad's ring position moves by one, changing two cyclic
+//     gaps (O(log P) with an ordered position set);
+//   * ID (Eq. 2)        -- only when exactly one swapped net is a top-row
+//     net: one signal net crosses that section boundary, shifting one
+//     unit of load between two adjacent sections (the max is maintained
+//     in a multiset, O(log S));
+//   * omega             -- only when the swap straddles a psi-group
+//     boundary: the two touched groups' unions are rebuilt (O(psi)).
+// The class owns its copy of the evolving order; drive it with the same
+// swap stream as the optimizer. Equivalence with the full recomputation
+// is property-tested over random legal swap sequences.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "exchange/increased_density.h"
+#include "package/assignment.h"
+#include "package/package.h"
+
+namespace fp {
+
+class IncrementalCost {
+ public:
+  /// `baseline` supplies the Eq.-(2) section loads of the initial
+  /// assignment (the same object the optimizer scores against).
+  IncrementalCost(const Package& package, const PackageAssignment& initial,
+                  double lambda, double rho, double phi);
+
+  /// Current Eq.-(3) value (Proxy IR mode).
+  [[nodiscard]] double current() const;
+
+  /// Individual terms, for tests and reporting.
+  [[nodiscard]] double dispersion() const;
+  [[nodiscard]] int increased_density() const;
+  [[nodiscard]] int omega() const;
+
+  /// Applies the swap of fingers (left, left+1) of `quadrant`; the caller
+  /// guarantees monotone legality (as in the optimizer's move filter).
+  void apply_swap(int quadrant, int left_finger);
+
+  /// Reverts the most recent un-undone apply_swap.
+  void undo_last();
+
+  /// The evolving order (for cross-checks).
+  [[nodiscard]] const PackageAssignment& assignment() const {
+    return current_;
+  }
+
+ private:
+  void swap_impl(int quadrant, int left_finger);
+
+  const Package* package_;
+  double lambda_;
+  double rho_;
+  double phi_;
+  int tier_count_;
+  int alpha_;
+
+  PackageAssignment current_;
+  std::vector<int> ring_offset_;  // per quadrant
+
+  // --- dispersion state ---
+  std::set<int> supply_positions_;
+  double gap_sum_sq_ = 0.0;
+
+  // --- Eq.-(2) state ---
+  // Per quadrant: current and baseline section loads; deltas multiset.
+  std::vector<std::vector<int>> loads_;
+  std::vector<std::vector<int>> base_loads_;
+  std::multiset<int> deltas_;
+
+  // --- omega state ---
+  std::vector<std::uint32_t> group_union_;
+  int omega_ = 0;
+  std::uint32_t full_mask_ = 0;
+
+  struct LastSwap {
+    int quadrant = -1;
+    int left = -1;
+  } last_;
+};
+
+}  // namespace fp

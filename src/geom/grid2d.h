@@ -1,0 +1,56 @@
+// Dense row-major 2-D array used for density maps and power-grid fields.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fp {
+
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  Grid2D(std::size_t width, std::size_t height, T fill = T{})
+      : width_(width), height_(height), cells_(width * height, fill) {}
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+
+  [[nodiscard]] bool in_bounds(std::size_t x, std::size_t y) const {
+    return x < width_ && y < height_;
+  }
+
+  [[nodiscard]] T& at(std::size_t x, std::size_t y) {
+    ensure(in_bounds(x, y), "Grid2D::at: index out of bounds");
+    return cells_[y * width_ + x];
+  }
+  [[nodiscard]] const T& at(std::size_t x, std::size_t y) const {
+    ensure(in_bounds(x, y), "Grid2D::at: index out of bounds");
+    return cells_[y * width_ + x];
+  }
+
+  /// Unchecked access for solver inner loops.
+  [[nodiscard]] T& operator()(std::size_t x, std::size_t y) {
+    return cells_[y * width_ + x];
+  }
+  [[nodiscard]] const T& operator()(std::size_t x, std::size_t y) const {
+    return cells_[y * width_ + x];
+  }
+
+  void fill(const T& value) { cells_.assign(cells_.size(), value); }
+
+  [[nodiscard]] const std::vector<T>& data() const { return cells_; }
+  [[nodiscard]] std::vector<T>& data() { return cells_; }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<T> cells_;
+};
+
+}  // namespace fp

@@ -1,0 +1,27 @@
+// Closed integer intervals (finger index windows for the exchange move
+// legality check and router gap windows).
+#pragma once
+
+#include <algorithm>
+
+namespace fp {
+
+/// Closed interval [lo, hi] over int indices; empty when lo > hi.
+struct Interval {
+  int lo = 0;
+  int hi = -1;
+
+  [[nodiscard]] constexpr bool empty() const { return lo > hi; }
+  [[nodiscard]] constexpr int size() const { return empty() ? 0 : hi - lo + 1; }
+  [[nodiscard]] constexpr bool contains(int v) const {
+    return v >= lo && v <= hi;
+  }
+
+  [[nodiscard]] constexpr Interval intersected(Interval other) const {
+    return {std::max(lo, other.lo), std::min(hi, other.hi)};
+  }
+
+  friend constexpr bool operator==(Interval, Interval) = default;
+};
+
+}  // namespace fp

@@ -1,0 +1,47 @@
+// 2-D points and vectors in package/die coordinates (micrometres).
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace fp {
+
+/// A point (or displacement) in the 2-D plane, in micrometres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point p, double k) {
+    return {p.x * k, p.y * k};
+  }
+  friend constexpr Point operator*(double k, Point p) { return p * k; }
+  friend constexpr bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Integer lattice point (grid node indices).
+struct IPoint {
+  int x = 0;
+  int y = 0;
+  friend constexpr auto operator<=>(IPoint, IPoint) = default;
+};
+
+/// Euclidean length of the displacement `p`.
+inline double length(Point p) { return std::hypot(p.x, p.y); }
+
+/// Euclidean distance between two points.
+inline double euclidean(Point a, Point b) { return length(a - b); }
+
+/// Manhattan (L1) distance between two points.
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace fp

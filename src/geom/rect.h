@@ -1,0 +1,46 @@
+// Axis-aligned rectangles (die outlines, hotspot regions, package quadrants).
+#pragma once
+
+#include <algorithm>
+
+#include "geom/point.h"
+
+namespace fp {
+
+/// Axis-aligned rectangle given by its lower-left and upper-right corners.
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  [[nodiscard]] constexpr double width() const { return x1 - x0; }
+  [[nodiscard]] constexpr double height() const { return y1 - y0; }
+  [[nodiscard]] constexpr double area() const { return width() * height(); }
+  [[nodiscard]] constexpr Point center() const {
+    return {(x0 + x1) * 0.5, (y0 + y1) * 0.5};
+  }
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  [[nodiscard]] constexpr bool valid() const { return x0 <= x1 && y0 <= y1; }
+
+  /// Smallest rectangle covering both `this` and `other`.
+  [[nodiscard]] Rect united(const Rect& other) const {
+    return {std::min(x0, other.x0), std::min(y0, other.y0),
+            std::max(x1, other.x1), std::max(y1, other.y1)};
+  }
+
+  /// Intersection; may be invalid() when the rectangles are disjoint.
+  [[nodiscard]] Rect intersected(const Rect& other) const {
+    return {std::max(x0, other.x0), std::max(y0, other.y0),
+            std::min(x1, other.x1), std::min(y1, other.y1)};
+  }
+
+  /// Rectangle grown by `margin` on every side.
+  [[nodiscard]] constexpr Rect inflated(double margin) const {
+    return {x0 - margin, y0 - margin, x1 + margin, y1 + margin};
+  }
+};
+
+}  // namespace fp

@@ -1,0 +1,71 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+
+namespace fp {
+
+int orientation(Point a, Point b, Point c, double eps) {
+  const double cross =
+      (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  if (cross > eps) return 1;
+  if (cross < -eps) return -1;
+  return 0;
+}
+
+bool on_segment(const Segment& s, Point p, double eps) {
+  if (orientation(s.a, s.b, p, eps) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - eps &&
+         p.x <= std::max(s.a.x, s.b.x) + eps &&
+         p.y >= std::min(s.a.y, s.b.y) - eps &&
+         p.y <= std::max(s.a.y, s.b.y) + eps;
+}
+
+bool segments_intersect(const Segment& s1, const Segment& s2, double eps) {
+  const int o1 = orientation(s1.a, s1.b, s2.a, eps);
+  const int o2 = orientation(s1.a, s1.b, s2.b, eps);
+  const int o3 = orientation(s2.a, s2.b, s1.a, eps);
+  const int o4 = orientation(s2.a, s2.b, s1.b, eps);
+  if (o1 != o2 && o3 != o4) return true;
+  return (o1 == 0 && on_segment(s1, s2.a, eps)) ||
+         (o2 == 0 && on_segment(s1, s2.b, eps)) ||
+         (o3 == 0 && on_segment(s2, s1.a, eps)) ||
+         (o4 == 0 && on_segment(s2, s1.b, eps));
+}
+
+namespace {
+
+bool is_shared_endpoint(Point p, const Segment& s, double eps) {
+  const auto close = [eps](Point a, Point b) {
+    return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+  };
+  return close(p, s.a) || close(p, s.b);
+}
+
+}  // namespace
+
+bool segments_cross(const Segment& s1, const Segment& s2, double eps) {
+  if (!segments_intersect(s1, s2, eps)) return false;
+  // A mere touch at shared endpoints is not a crossing; anything else
+  // (proper crossing, T-touch at an interior point, overlap) is.
+  const int o1 = orientation(s1.a, s1.b, s2.a, eps);
+  const int o2 = orientation(s1.a, s1.b, s2.b, eps);
+  const int o3 = orientation(s2.a, s2.b, s1.a, eps);
+  const int o4 = orientation(s2.a, s2.b, s1.b, eps);
+  if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0) {
+    return true;  // proper crossing
+  }
+  // Collinear or touching: a crossing if any endpoint of one segment lies
+  // in the *interior* of the other (T-touch or overlap); only contacts at
+  // shared endpoints are innocent.
+  const Point candidates[4] = {s2.a, s2.b, s1.a, s1.b};
+  const Segment* owners[4] = {&s1, &s1, &s2, &s2};
+  for (int i = 0; i < 4; ++i) {
+    if (on_segment(*owners[i], candidates[i], eps) &&
+        !is_shared_endpoint(candidates[i], *owners[i], eps)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fp

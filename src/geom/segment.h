@@ -1,0 +1,32 @@
+// Line segments and intersection predicates, used by the router's
+// non-crossing verification (monotone routing must never cross two layer-1
+// wires) and by the bonding-wire crossing count.
+#pragma once
+
+#include "geom/point.h"
+
+namespace fp {
+
+struct Segment {
+  Point a;
+  Point b;
+};
+
+/// Sign of the cross product (b-a) x (c-a): >0 left turn, <0 right turn,
+/// 0 collinear (with an epsilon for floating point noise).
+[[nodiscard]] int orientation(Point a, Point b, Point c, double eps = 1e-12);
+
+/// True if point p lies on segment s (within eps).
+[[nodiscard]] bool on_segment(const Segment& s, Point p, double eps = 1e-12);
+
+/// True if the two segments share at least one point (touching endpoints
+/// count as intersecting).
+[[nodiscard]] bool segments_intersect(const Segment& s1, const Segment& s2,
+                                      double eps = 1e-12);
+
+/// True if the segments share a point that is interior to at least one of
+/// them -- i.e. a genuine crossing or overlap, not a mere shared endpoint.
+[[nodiscard]] bool segments_cross(const Segment& s1, const Segment& s2,
+                                  double eps = 1e-12);
+
+}  // namespace fp

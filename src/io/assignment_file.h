@@ -1,0 +1,40 @@
+// Text interchange format for finger/pad assignments, so a planned order
+// can be archived, diffed, and fed back into routing or IR analysis
+// (e.g. `fpkit plan --out-assignment a.fpa` then `fpkit route
+// --assignment a.fpa`).
+//
+// Format ('#' starts a comment):
+//
+//   assignment <circuit-name>
+//   quadrant <name> <net-id> <net-id> ...   # finger order, left to right
+//   ...
+//   end
+//
+// Quadrants must appear in the package's quadrant order; each line must be
+// a permutation of that quadrant's nets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "package/assignment.h"
+#include "package/package.h"
+
+namespace fp {
+
+[[nodiscard]] std::string write_assignment(const Package& package,
+                                           const PackageAssignment& assignment);
+
+void save_assignment(const Package& package,
+                     const PackageAssignment& assignment,
+                     const std::string& path);
+
+/// Parses and validates against `package`; throws IoError on malformed
+/// input or on an assignment inconsistent with the package.
+[[nodiscard]] PackageAssignment read_assignment(std::istream& in,
+                                                const Package& package);
+
+[[nodiscard]] PackageAssignment load_assignment(const std::string& path,
+                                                const Package& package);
+
+}  // namespace fp

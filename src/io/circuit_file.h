@@ -1,0 +1,37 @@
+// Plain-text circuit interchange format, so users can run fpkit's flow on
+// their own package descriptions and so experiments can be archived.
+//
+// Format (line oriented, '#' starts a comment):
+//
+//   circuit <name>
+//   geometry <bump_space> <finger_width> <finger_height> <finger_space>
+//   net <id> <name> <signal|power|ground> <tier>
+//   quadrant <name>
+//   row <net-id> <net-id> ...        # outermost row first
+//   ...
+//   end
+//
+// Net ids must be dense 0..N-1; every net appears in exactly one quadrant
+// row. `end` closes the circuit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "package/package.h"
+
+namespace fp {
+
+/// Serialises `package` in the format above.
+[[nodiscard]] std::string write_circuit(const Package& package);
+
+/// Writes the file; throws IoError on I/O failure.
+void save_circuit(const Package& package, const std::string& path);
+
+/// Parses a circuit; throws IoError with a line number on malformed input.
+[[nodiscard]] Package read_circuit(std::istream& in);
+
+/// Loads from a file path; throws IoError if unreadable or malformed.
+[[nodiscard]] Package load_circuit(const std::string& path);
+
+}  // namespace fp

@@ -1,0 +1,27 @@
+// CSV writer for machine-readable experiment outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fp {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string str() const;
+
+  /// Writes the document; throws IoError on failure.
+  void save(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::size_t columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fp

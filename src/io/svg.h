@@ -1,0 +1,54 @@
+// Minimal SVG canvas for rendering routing plots (Fig. 15) and IR-drop
+// heat maps (Fig. 6). World coordinates are micrometres; the canvas applies
+// a uniform scale and a y-flip so larger y (toward the die) points up.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace fp {
+
+class SvgCanvas {
+ public:
+  /// `world` is the region drawn; it is mapped into a `pixels_wide` wide
+  /// image with aspect-preserving scale and a small margin.
+  SvgCanvas(Rect world, double pixels_wide = 800.0);
+
+  void line(Point a, Point b, std::string_view color, double width_px = 1.0);
+  void polyline(const std::vector<Point>& points, std::string_view color,
+                double width_px = 1.0);
+  void circle(Point center, double radius_px, std::string_view fill,
+              std::string_view stroke = "none");
+  void rect(Rect r, std::string_view fill, std::string_view stroke = "none");
+  /// Filled pixel-space rectangle at a world-space anchor (for heat maps).
+  void cell(Point lower_left, double w_world, double h_world,
+            std::string_view fill);
+  void text(Point anchor, std::string_view content, double size_px = 12.0,
+            std::string_view color = "#333333");
+
+  /// Full document as a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes the document; throws IoError on failure.
+  void save(const std::string& path) const;
+
+  /// Maps a world point to pixel coordinates (exposed for tests).
+  [[nodiscard]] Point to_pixels(Point world) const;
+
+ private:
+  Rect world_;
+  double scale_;
+  double margin_px_ = 12.0;
+  double width_px_;
+  double height_px_;
+  std::vector<std::string> elements_;
+};
+
+/// Maps t in [0,1] to a blue->green->yellow->red heat colour (#rrggbb).
+[[nodiscard]] std::string heat_color(double t);
+
+}  // namespace fp

@@ -1,0 +1,50 @@
+#include "io/table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : columns_(header.size()) {
+  require(columns_ > 0, "TablePrinter: header must not be empty");
+  rows_.push_back(std::move(header));
+  add_separator();
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == columns_, "TablePrinter: wrong cell count");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> widths(columns_, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      for (std::size_t c = 0; c < columns_; ++c) {
+        out += '+';
+        out.append(widths[c] + 2, '-');
+      }
+      out += "+\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < columns_; ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace fp

@@ -1,0 +1,26 @@
+// ASCII table printer used by the bench harnesses to regenerate the paper's
+// tables with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Horizontal separator line before the next added row.
+  void add_separator();
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::size_t columns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace fp

@@ -1,0 +1,81 @@
+// Nets and the netlist: the signals a package must carry from die pads to
+// bump balls, each with an electrical type and (for stacking ICs) a tier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fp {
+
+/// Stable identifier of a net; dense indices [0, net_count).
+using NetId = std::int32_t;
+inline constexpr NetId kInvalidNet = -1;
+
+/// Electrical role of a net. Power/Ground pads are the ones whose placement
+/// drives IR-drop; Signal pads only matter for routability and bonding wire
+/// length.
+enum class NetType : std::uint8_t { Signal, Power, Ground };
+
+[[nodiscard]] std::string_view to_string(NetType type);
+
+/// True for Power and Ground nets (both feed the on-die supply mesh; the
+/// paper's "power pad" moves apply to them).
+[[nodiscard]] constexpr bool is_supply(NetType type) {
+  return type == NetType::Power || type == NetType::Ground;
+}
+
+struct Net {
+  NetId id = kInvalidNet;
+  std::string name;
+  NetType type = NetType::Signal;
+  /// Die tier the net's pad lives on; 0-based, < Netlist::tier_count().
+  /// Always 0 for 2-D (single chip) designs.
+  int tier = 0;
+};
+
+/// Owning container of all nets of a design, indexed by NetId.
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// Creates `count` signal nets named N0..N<count-1> on tier 0.
+  explicit Netlist(std::size_t count);
+
+  /// Appends a net; its id is assigned densely. Returns the new id.
+  NetId add(std::string name, NetType type = NetType::Signal, int tier = 0);
+
+  [[nodiscard]] std::size_t size() const { return nets_.size(); }
+  [[nodiscard]] bool empty() const { return nets_.empty(); }
+
+  [[nodiscard]] const Net& net(NetId id) const {
+    require(id >= 0 && static_cast<std::size_t>(id) < nets_.size(),
+            "Netlist::net: id out of range");
+    return nets_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] Net& net(NetId id) {
+    require(id >= 0 && static_cast<std::size_t>(id) < nets_.size(),
+            "Netlist::net: id out of range");
+    return nets_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+
+  /// Number of die tiers (1 for 2-D designs); max net tier + 1.
+  [[nodiscard]] int tier_count() const;
+
+  /// Ids of all supply (power/ground) nets, ascending.
+  [[nodiscard]] std::vector<NetId> supply_nets() const;
+
+  /// Counts nets of the given type.
+  [[nodiscard]] std::size_t count(NetType type) const;
+
+ private:
+  std::vector<Net> nets_;
+};
+
+}  // namespace fp

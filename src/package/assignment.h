@@ -1,0 +1,43 @@
+// Finger/pad assignments: the output of the paper's problem formulation.
+//
+// A QuadrantAssignment maps finger slot a -> net occupying it, left to
+// right, for one quadrant. A PackageAssignment collects one per quadrant in
+// the package's quadrant order; concatenating them in that order yields the
+// pad-ring order used by the IR-drop model and the stacking bonding-wire
+// metric.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fp {
+
+class Quadrant;
+
+struct QuadrantAssignment {
+  /// order[a] = net at finger slot a (0-based from the left).
+  std::vector<NetId> order;
+
+  [[nodiscard]] int size() const { return static_cast<int>(order.size()); }
+
+  /// Finger slot holding `net`, or -1.
+  [[nodiscard]] int finger_of(NetId net) const;
+};
+
+/// True iff `assignment.order` is a permutation of the quadrant's nets.
+[[nodiscard]] bool is_permutation_of(const QuadrantAssignment& assignment,
+                                     const Quadrant& quadrant);
+
+struct PackageAssignment {
+  std::vector<QuadrantAssignment> quadrants;
+
+  /// Total pads across quadrants.
+  [[nodiscard]] int total_fingers() const;
+
+  /// Pad-ring order: quadrant 0's fingers left-to-right, then quadrant 1's,
+  /// and so on around the die.
+  [[nodiscard]] std::vector<NetId> ring_order() const;
+};
+
+}  // namespace fp

@@ -1,0 +1,26 @@
+// Physical geometry parameters of the two-layer BGA package model.
+//
+// These are exactly the knobs the paper publishes per test circuit in
+// Table 1 (bump ball space, finger width/height/space) plus the two global
+// constants from Section 4 (via diameter 0.1 um, bump ball diameter 0.2 um).
+#pragma once
+
+namespace fp {
+
+struct PackageGeometry {
+  /// Minimal space between two consecutive bump balls (row pitch too).
+  double bump_space_um = 1.2;
+  double finger_width_um = 0.1;
+  double finger_height_um = 0.2;
+  /// Minimal space between two consecutive fingers.
+  double finger_space_um = 0.12;
+  double via_diameter_um = 0.1;
+  double ball_diameter_um = 0.2;
+
+  /// Centre-to-centre pitch of the finger row.
+  [[nodiscard]] constexpr double finger_pitch_um() const {
+    return finger_width_um + finger_space_um;
+  }
+};
+
+}  // namespace fp

@@ -1,0 +1,125 @@
+#include "package/lint.h"
+
+#include <algorithm>
+
+namespace fp {
+namespace {
+
+void add(LintReport& report, LintSeverity severity, std::string message) {
+  report.findings.push_back(LintFinding{severity, std::move(message)});
+}
+
+}  // namespace
+
+std::size_t LintReport::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const LintFinding& finding) {
+                      return finding.severity == LintSeverity::Error;
+                    }));
+}
+
+std::string LintReport::to_string() const {
+  if (findings.empty()) return "lint: clean\n";
+  std::string out;
+  for (const LintFinding& finding : findings) {
+    out += finding.severity == LintSeverity::Error ? "error: " : "warning: ";
+    out += finding.message;
+    out += '\n';
+  }
+  return out;
+}
+
+LintReport lint_package(const Package& package) {
+  LintReport report;
+  const PackageGeometry& g = package.geometry();
+
+  // --- geometry ----------------------------------------------------------
+  if (g.bump_space_um <= 0.0 || g.finger_width_um <= 0.0 ||
+      g.finger_height_um <= 0.0 || g.finger_space_um <= 0.0) {
+    add(report, LintSeverity::Error,
+        "geometry has a non-positive dimension");
+  }
+  if (g.via_diameter_um >= g.bump_space_um) {
+    add(report, LintSeverity::Error,
+        "via diameter >= bump pitch: no routing gap exists between vias");
+  }
+  if (g.ball_diameter_um >= g.bump_space_um) {
+    add(report, LintSeverity::Warning,
+        "bump ball diameter >= bump pitch: balls would touch");
+  }
+  if (g.finger_pitch_um() > g.bump_space_um) {
+    add(report, LintSeverity::Warning,
+        "finger pitch exceeds bump pitch: the finger row is wider than the "
+        "bump array it feeds");
+  }
+
+  // --- quadrant structure --------------------------------------------
+  for (const Quadrant& q : package.quadrants()) {
+    for (int r = 1; r < q.row_count(); ++r) {
+      if (q.bumps_in_row(r) > q.bumps_in_row(r - 1)) {
+        add(report, LintSeverity::Warning,
+            "quadrant '" + q.name() + "': row " + std::to_string(r) +
+                " is wider than the row outside it (triangular quadrants "
+                "shrink toward the die)");
+        break;
+      }
+    }
+  }
+
+  // --- parity of bump rows (via-lattice alignment) ----------------------
+  for (const Quadrant& q : package.quadrants()) {
+    bool mixed = false;
+    for (int r = 1; r < q.row_count(); ++r) {
+      if ((q.bumps_in_row(r) & 1) != (q.bumps_in_row(0) & 1)) mixed = true;
+    }
+    if (mixed) {
+      add(report, LintSeverity::Warning,
+          "quadrant '" + q.name() + "': bump rows mix parities, so the via "
+          "lattices of adjacent rows are staggered (cross-row via "
+          "planning unavailable)");
+    }
+  }
+
+  // --- supply distribution ----------------------------------------------
+  const std::size_t supply = package.netlist().supply_nets().size();
+  if (supply == 0) {
+    add(report, LintSeverity::Warning,
+        "no supply nets: IR-drop analysis and the 2-D exchange step are "
+        "unavailable");
+  }
+  for (const Quadrant& q : package.quadrants()) {
+    std::size_t local = 0;
+    for (const NetId net : q.all_nets()) {
+      if (is_supply(package.netlist().net(net).type)) ++local;
+    }
+    if (supply > 0 && local == 0) {
+      add(report, LintSeverity::Warning,
+          "quadrant '" + q.name() + "' carries no supply net: one die edge "
+          "has no power pad at all");
+    }
+  }
+
+  // --- tiers --------------------------------------------------------------
+  const int tiers = package.netlist().tier_count();
+  if (tiers > 1) {
+    std::vector<int> members(static_cast<std::size_t>(tiers), 0);
+    for (const Net& net : package.netlist().nets()) {
+      ++members[static_cast<std::size_t>(net.tier)];
+    }
+    const auto [min_it, max_it] =
+        std::minmax_element(members.begin(), members.end());
+    if (*min_it == 0) {
+      add(report, LintSeverity::Error,
+          "a tier has no nets: tier_count is inconsistent with the "
+          "netlist");
+    } else if (*max_it > 2 * *min_it) {
+      add(report, LintSeverity::Warning,
+          "tier populations are unbalanced by more than 2x: omega cannot "
+          "reach 0");
+    }
+  }
+  return report;
+}
+
+}  // namespace fp

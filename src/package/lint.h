@@ -1,0 +1,34 @@
+// Package lint: sanity diagnostics a user wants before running the flow
+// on a hand-written circuit. Unlike the hard constructor checks (which
+// reject inconsistent packages outright), lint reports *suspicious but
+// legal* properties: geometry that cannot be manufactured, bump rows that
+// grow toward the die, supply-starved quadrants, unbalanced tiers.
+// Surfaced by `fpkit info --lint`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "package/package.h"
+
+namespace fp {
+
+enum class LintSeverity { Warning, Error };
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::Warning;
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  [[nodiscard]] std::size_t errors() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs every lint rule over the package.
+[[nodiscard]] LintReport lint_package(const Package& package);
+
+}  // namespace fp

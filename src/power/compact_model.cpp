@@ -1,0 +1,48 @@
+#include "power/compact_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace fp {
+
+CompactIrModel::CompactIrModel(const PowerGrid& grid) : grid_(grid) {}
+
+double CompactIrModel::estimate_max_drop(
+    const std::vector<IPoint>& pads) const {
+  require(!pads.empty(), "CompactIrModel: need at least one pad");
+  const int k = grid_.k();
+  // Mean sheet resistance; distances are in node pitches, matching the
+  // unit link conductances of the mesh.
+  const double rs =
+      0.5 * (grid_.spec().sheet_res_x + grid_.spec().sheet_res_y);
+  double worst = 0.0;
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      double d2 = std::numeric_limits<double>::max();
+      for (const IPoint pad : pads) {
+        const double dx = static_cast<double>(x - pad.x);
+        const double dy = static_cast<double>(y - pad.y);
+        d2 = std::min(d2, dx * dx + dy * dy);
+      }
+      const double drop = 0.5 * grid_.node_current(x, y) * rs * d2;
+      worst = std::max(worst, drop);
+    }
+  }
+  return scale_ * worst;
+}
+
+void CompactIrModel::calibrate(const std::vector<IPoint>& pads,
+                               const SolverOptions& options) {
+  require(!pads.empty(), "CompactIrModel: need at least one pad");
+  const double raw = estimate_max_drop(pads) / scale_;
+  require(raw > 0.0,
+          "CompactIrModel: zero estimate (no load?), cannot calibrate");
+  grid_.set_pads(pads);
+  const SolveResult solved = solve(grid_, options);
+  scale_ = max_ir_drop(grid_, solved) / raw;
+}
+
+}  // namespace fp

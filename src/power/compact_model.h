@@ -1,0 +1,48 @@
+// Compact (closed-form) IR-drop estimation in the spirit of
+// Shakeri-Meindl [17]: usable before any floorplan exists and orders of
+// magnitude faster than a mesh solve.
+//
+// Integrating Eq. (1) along the supply path gives the classic quadratic
+// profile: a point at distance d from its nearest pad, fed through sheet
+// resistance Rs while the nodes along the way draw current density J,
+// drops roughly J * Rs * d^2 / 2. The estimator evaluates that bound at
+// every mesh node against the nearest pad (hotspot-aware through the
+// node's own current) and reports the worst node. A one-shot calibration
+// against a real solve fixes the geometry-dependent constant, after which
+// the estimate tracks the solver's *ranking* of pad plans -- which is all
+// the exchange loop needs (IrCostMode::Compact).
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "power/power_grid.h"
+#include "power/solver.h"
+
+namespace fp {
+
+class CompactIrModel {
+ public:
+  /// Copies the grid's load map and electrical constants (hotspots
+  /// included). The grid's current pad set is irrelevant; pads are
+  /// supplied per estimate.
+  explicit CompactIrModel(const PowerGrid& grid);
+
+  /// Closed-form worst-drop estimate (volts) for a pad plan. Requires at
+  /// least one pad.
+  [[nodiscard]] double estimate_max_drop(
+      const std::vector<IPoint>& pads) const;
+
+  /// Runs one real solve with `pads` and rescales the model so that
+  /// estimate_max_drop(pads) equals the solved max drop.
+  void calibrate(const std::vector<IPoint>& pads,
+                 const SolverOptions& options = {});
+
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  PowerGrid grid_;
+  double scale_ = 1.0;
+};
+
+}  // namespace fp

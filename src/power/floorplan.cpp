@@ -1,0 +1,69 @@
+#include "power/floorplan.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fp {
+
+Floorplan::Floorplan(double background_power_w)
+    : background_w_(background_power_w) {
+  require(background_power_w >= 0.0,
+          "Floorplan: background power must be non-negative");
+}
+
+void Floorplan::add_module(Module module) {
+  require(module.power_w >= 0.0, "Floorplan: module power must be >= 0");
+  require(module.footprint.valid() && module.footprint.x0 >= 0.0 &&
+              module.footprint.y0 >= 0.0 && module.footprint.x1 <= 1.0 &&
+              module.footprint.y1 <= 1.0 && module.footprint.area() > 0.0,
+          "Floorplan: footprint must be a non-empty sub-rectangle of the "
+          "unit square");
+  require(std::none_of(modules_.begin(), modules_.end(),
+                       [&](const Module& existing) {
+                         return existing.name == module.name;
+                       }),
+          "Floorplan: duplicate module name");
+  modules_.push_back(std::move(module));
+}
+
+double Floorplan::total_power_w() const {
+  double total = background_w_;
+  for (const Module& module : modules_) total += module.power_w;
+  return total;
+}
+
+PowerGrid Floorplan::build_grid(const PowerGridSpec& spec) const {
+  PowerGrid grid(spec);
+  const auto k = static_cast<std::size_t>(spec.nodes_per_side);
+  const double node_count = static_cast<double>(k) * static_cast<double>(k);
+  Grid2D<double> amps(k, k,
+                      background_w_ / spec.vdd / node_count);
+
+  for (const Module& module : modules_) {
+    // Nodes whose centre falls inside the footprint share the current.
+    std::vector<std::size_t> covered;
+    for (std::size_t y = 0; y < k; ++y) {
+      for (std::size_t x = 0; x < k; ++x) {
+        const Point center{(static_cast<double>(x) + 0.5) /
+                               static_cast<double>(k),
+                           (static_cast<double>(y) + 0.5) /
+                               static_cast<double>(k)};
+        if (module.footprint.contains(center)) {
+          covered.push_back(y * k + x);
+        }
+      }
+    }
+    require(!covered.empty(), "Floorplan: module '" + module.name +
+                                  "' covers no mesh node (mesh too coarse)");
+    const double per_node =
+        module.power_w / spec.vdd / static_cast<double>(covered.size());
+    for (const std::size_t index : covered) {
+      amps.data()[index] += per_node;
+    }
+  }
+  grid.set_explicit_currents(std::move(amps));
+  return grid;
+}
+
+}  // namespace fp

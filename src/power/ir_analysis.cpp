@@ -1,0 +1,106 @@
+#include "power/ir_analysis.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "io/svg.h"
+#include "util/error.h"
+
+namespace fp {
+
+IrReport analyze_ir(const Package& package,
+                    const PackageAssignment& assignment,
+                    const PowerGridSpec& spec, const SolverOptions& options) {
+  PowerGrid grid(spec);
+  return analyze_ir(package, assignment, grid, options);
+}
+
+IrReport analyze_ir(const Package& package,
+                    const PackageAssignment& assignment, PowerGrid& grid,
+                    const SolverOptions& options) {
+  const PadRing ring(package, grid.k());
+  const std::vector<IPoint> nodes = ring.supply_nodes(assignment);
+  require(!nodes.empty(), "analyze_ir: assignment has no supply pads");
+  grid.set_pads(nodes);
+  const SolveResult solved = solve(grid, options);
+  IrReport report;
+  report.max_drop_v = max_ir_drop(grid, solved);
+  report.mean_drop_v = mean_ir_drop(grid, solved);
+  report.supply_pad_count = static_cast<int>(nodes.size());
+  report.solver_iterations = solved.iterations;
+  report.converged = solved.converged;
+  return report;
+}
+
+std::vector<PadCriticality> pad_criticality(PowerGrid& grid,
+                                            const SolverOptions& options) {
+  const std::vector<IPoint> pads = grid.pads();
+  require(pads.size() >= 2,
+          "pad_criticality: need at least two pads (removing the only pad "
+          "makes the mesh singular)");
+  const double baseline = max_ir_drop(grid, solve(grid, options));
+  std::vector<PadCriticality> ranking;
+  ranking.reserve(pads.size());
+  for (std::size_t skip = 0; skip < pads.size(); ++skip) {
+    std::vector<IPoint> reduced;
+    reduced.reserve(pads.size() - 1);
+    for (std::size_t i = 0; i < pads.size(); ++i) {
+      if (i != skip) reduced.push_back(pads[i]);
+    }
+    grid.set_pads(reduced);
+    ranking.push_back(PadCriticality{
+        pads[skip], max_ir_drop(grid, solve(grid, options)) - baseline});
+  }
+  grid.set_pads(pads);  // restore
+  std::sort(ranking.begin(), ranking.end(),
+            [](const PadCriticality& a, const PadCriticality& b) {
+              return a.drop_increase_v > b.drop_increase_v;
+            });
+  return ranking;
+}
+
+std::string ir_heatmap_svg(const PowerGrid& grid, const SolveResult& result,
+                           const std::string& title) {
+  const int k = grid.k();
+  const double edge = grid.spec().die_edge_um;
+  const double cell = edge / k;
+  SvgCanvas canvas(Rect{0.0, 0.0, edge, edge}, 640.0);
+
+  const double vdd = grid.spec().vdd;
+  double worst = 0.0;
+  for (const double v : result.voltage.data()) {
+    worst = std::max(worst, vdd - v);
+  }
+  const double scale = worst > 0.0 ? 1.0 / worst : 1.0;
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      const double drop =
+          vdd - result.voltage(static_cast<std::size_t>(x),
+                               static_cast<std::size_t>(y));
+      canvas.cell({x * cell, y * cell}, cell, cell,
+                  heat_color(drop * scale));
+    }
+  }
+  for (const IPoint pad : grid.pads()) {
+    canvas.circle({(pad.x + 0.5) * cell, (pad.y + 0.5) * cell}, 3.5,
+                  "#000000", "#ffffff");
+  }
+  canvas.text({0.02 * edge, 0.97 * edge},
+              title + "  (max IR-drop " +
+                  std::to_string(static_cast<int>(worst * 1e3 + 0.5)) +
+                  " mV)",
+              14.0, "#ffffff");
+  return canvas.str();
+}
+
+void save_ir_heatmap_svg(const PowerGrid& grid, const SolveResult& result,
+                         const std::string& title, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw IoError("save_ir_heatmap_svg: cannot open '" + path + "'");
+  file << ir_heatmap_svg(grid, result, title);
+  if (!file) {
+    throw IoError("save_ir_heatmap_svg: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace fp

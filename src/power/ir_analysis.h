@@ -1,0 +1,65 @@
+// End-to-end IR-drop analysis of a package assignment, plus rendering.
+//
+// This is the "IR_before / IR_after" scoring path of Table 3 and the
+// simulation behind Fig. 6: place the assignment's supply pads on the die
+// mesh boundary, solve Eq. (1), and report the worst drop.
+#pragma once
+
+#include <string>
+
+#include "package/assignment.h"
+#include "package/package.h"
+#include "power/pad_ring.h"
+#include "power/power_grid.h"
+#include "power/solver.h"
+
+namespace fp {
+
+struct IrReport {
+  double max_drop_v = 0.0;
+  double mean_drop_v = 0.0;
+  int supply_pad_count = 0;
+  int solver_iterations = 0;
+  bool converged = false;
+};
+
+/// Builds the mesh from `spec` (hotspots may be added via the overload
+/// taking a prepared grid), pins the assignment's supply pads to Vdd and
+/// solves. Throws InvalidArgument when the assignment carries no supply
+/// nets.
+[[nodiscard]] IrReport analyze_ir(const Package& package,
+                                  const PackageAssignment& assignment,
+                                  const PowerGridSpec& spec,
+                                  const SolverOptions& options = {});
+
+/// Same, but reuses a caller-prepared grid (e.g. with hotspots); only the
+/// pad set is replaced.
+[[nodiscard]] IrReport analyze_ir(const Package& package,
+                                  const PackageAssignment& assignment,
+                                  PowerGrid& grid,
+                                  const SolverOptions& options = {});
+
+/// Leave-one-out criticality of each pad of `grid`: how much the max
+/// IR-drop rises if that pad alone is removed. The ranking tells a
+/// co-design team which supply pads are load-bearing and which are
+/// redundant (ECO candidates). Requires at least two pads; the grid's pad
+/// set is restored before returning. Sorted most critical first.
+struct PadCriticality {
+  IPoint node;
+  double drop_increase_v = 0.0;
+};
+
+[[nodiscard]] std::vector<PadCriticality> pad_criticality(
+    PowerGrid& grid, const SolverOptions& options = {});
+
+/// SVG heat map of the solved voltage field (Fig. 6 style): blue = full
+/// Vdd, red = worst drop. Pads are drawn as black dots.
+[[nodiscard]] std::string ir_heatmap_svg(const PowerGrid& grid,
+                                         const SolveResult& result,
+                                         const std::string& title);
+
+/// Renders and writes the heat map; throws IoError on failure.
+void save_ir_heatmap_svg(const PowerGrid& grid, const SolveResult& result,
+                         const std::string& title, const std::string& path);
+
+}  // namespace fp

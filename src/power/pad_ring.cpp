@@ -1,0 +1,139 @@
+#include "power/pad_ring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fp {
+
+PadRing::PadRing(const Package& package, int mesh_nodes_per_side)
+    : package_(&package), mesh_k_(mesh_nodes_per_side),
+      slot_count_(package.finger_count()) {
+  require(mesh_nodes_per_side >= 2, "PadRing: mesh too small");
+  require(slot_count_ > 0, "PadRing: package has no fingers");
+}
+
+IPoint ring_slot_node(int slot, int total_slots, int mesh_k) {
+  require(total_slots > 0, "ring_slot_node: total_slots must be positive");
+  require(mesh_k >= 2, "ring_slot_node: mesh too small");
+  require(slot >= 0 && slot < total_slots,
+          "ring_slot_node: slot out of range");
+  const double s =
+      (static_cast<double>(slot) + 0.5) / static_cast<double>(total_slots) *
+      4.0;
+  const int edge = std::min(3, static_cast<int>(s));
+  const double f = s - edge;
+  const int last = mesh_k - 1;
+  const auto snap = [&](double t) {
+    return static_cast<int>(std::lround(t * last));
+  };
+  switch (edge) {
+    case 0:  // bottom, left -> right
+      return {snap(f), 0};
+    case 1:  // right, bottom -> top
+      return {last, snap(f)};
+    case 2:  // top, right -> left
+      return {snap(1.0 - f), last};
+    default:  // left, top -> bottom
+      return {0, snap(1.0 - f)};
+  }
+}
+
+IPoint PadRing::node_of_slot(int slot) const {
+  return ring_slot_node(slot, slot_count_, mesh_k_);
+}
+
+std::vector<IPoint> area_pad_nodes(int pad_count, int mesh_k) {
+  require(pad_count > 0, "area_pad_nodes: pad_count must be positive");
+  require(mesh_k >= 2, "area_pad_nodes: mesh too small");
+  // Most-square grid: columns x rows >= pad_count with columns >= rows.
+  int rows = static_cast<int>(std::sqrt(static_cast<double>(pad_count)));
+  while (rows > 1 && pad_count % rows != 0) --rows;
+  const int cols = (pad_count + rows - 1) / rows;
+  std::vector<IPoint> nodes;
+  nodes.reserve(static_cast<std::size_t>(pad_count));
+  for (int r = 0; r < rows && static_cast<int>(nodes.size()) < pad_count;
+       ++r) {
+    for (int c = 0; c < cols && static_cast<int>(nodes.size()) < pad_count;
+         ++c) {
+      const double fx = (static_cast<double>(c) + 0.5) / cols;
+      const double fy = (static_cast<double>(r) + 0.5) / rows;
+      nodes.push_back(
+          {static_cast<int>(std::lround(fx * (mesh_k - 1))),
+           static_cast<int>(std::lround(fy * (mesh_k - 1)))});
+    }
+  }
+  return nodes;
+}
+
+std::vector<int> PadRing::supply_slots(
+    const PackageAssignment& assignment) const {
+  const std::vector<NetId> ring = assignment.ring_order();
+  require(static_cast<int>(ring.size()) == slot_count_,
+          "PadRing: assignment size differs from the package ring");
+  std::vector<int> slots;
+  for (int i = 0; i < slot_count_; ++i) {
+    const Net& net =
+        package_->netlist().net(ring[static_cast<std::size_t>(i)]);
+    if (is_supply(net.type)) slots.push_back(i);
+  }
+  return slots;
+}
+
+std::vector<IPoint> PadRing::supply_nodes(
+    const PackageAssignment& assignment) const {
+  std::vector<IPoint> nodes;
+  for (const int slot : supply_slots(assignment)) {
+    nodes.push_back(node_of_slot(slot));
+  }
+  return nodes;
+}
+
+namespace {
+
+std::vector<int> supply_positions(const std::vector<NetId>& ring_order,
+                                  const Netlist& netlist) {
+  std::vector<int> positions;
+  for (std::size_t i = 0; i < ring_order.size(); ++i) {
+    if (is_supply(netlist.net(ring_order[i]).type)) {
+      positions.push_back(static_cast<int>(i));
+    }
+  }
+  return positions;
+}
+
+}  // namespace
+
+double supply_dispersion(const std::vector<NetId>& ring_order,
+                         const Netlist& netlist) {
+  const std::vector<int> positions = supply_positions(ring_order, netlist);
+  require(!positions.empty(), "supply_dispersion: no supply nets in ring");
+  const auto total = static_cast<double>(ring_order.size());
+  const auto p = static_cast<double>(positions.size());
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const int next = positions[(i + 1) % positions.size()];
+    int gap = next - positions[i];
+    if (gap <= 0) gap += static_cast<int>(ring_order.size());
+    sum_sq += static_cast<double>(gap) * static_cast<double>(gap);
+  }
+  const double ideal = total * total / p;  // p equal gaps of total/p slots
+  return sum_sq / ideal;
+}
+
+int max_supply_gap(const std::vector<NetId>& ring_order,
+                   const Netlist& netlist) {
+  const std::vector<int> positions = supply_positions(ring_order, netlist);
+  require(!positions.empty(), "max_supply_gap: no supply nets in ring");
+  int worst = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const int next = positions[(i + 1) % positions.size()];
+    int gap = next - positions[i];
+    if (gap <= 0) gap += static_cast<int>(ring_order.size());
+    worst = std::max(worst, gap);
+  }
+  return worst;
+}
+
+}  // namespace fp

@@ -1,0 +1,70 @@
+// Mapping from the package's finger/pad ring onto the die's power mesh.
+//
+// The die pad order follows the finger order (the paper assumes "the finger
+// order and the pad order are the same"), so exchanging fingers moves the
+// on-die pads too -- that is the whole mechanism by which the exchange step
+// improves IR-drop. Ring slot i (quadrants concatenated: bottom, right,
+// top, left) is placed at perimeter fraction (i + 0.5) / total and snapped
+// to the nearest boundary node of the K x K mesh, walking the boundary
+// counterclockwise from the bottom-left corner.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "netlist/netlist.h"
+#include "package/assignment.h"
+#include "package/package.h"
+
+namespace fp {
+
+/// Boundary mesh node of ring slot `slot` in [0, total_slots): perimeter
+/// fraction (slot + 0.5) / total_slots walked counterclockwise from the
+/// bottom-left corner of a `mesh_k` x `mesh_k` mesh.
+[[nodiscard]] IPoint ring_slot_node(int slot, int total_slots, int mesh_k);
+
+/// Flip-chip style area-array pad placement: `pad_count` pads in the most
+/// square grid pattern that fits, spread uniformly over the die interior.
+/// Models C4 bumps feeding the core directly -- the technology the paper
+/// contrasts wire-bonding against ("the IR-drop problem of a wire-bond
+/// package is worse than a flip-chip package").
+[[nodiscard]] std::vector<IPoint> area_pad_nodes(int pad_count, int mesh_k);
+
+class PadRing {
+ public:
+  PadRing(const Package& package, int mesh_nodes_per_side);
+
+  [[nodiscard]] int slot_count() const { return slot_count_; }
+
+  /// Boundary mesh node of ring slot `slot` in [0, slot_count()).
+  [[nodiscard]] IPoint node_of_slot(int slot) const;
+
+  /// Ring slots occupied by supply (power/ground) nets under `assignment`.
+  [[nodiscard]] std::vector<int> supply_slots(
+      const PackageAssignment& assignment) const;
+
+  /// Mesh nodes of those supply slots (duplicates possible when two
+  /// adjacent slots snap to the same boundary node).
+  [[nodiscard]] std::vector<IPoint> supply_nodes(
+      const PackageAssignment& assignment) const;
+
+ private:
+  const Package* package_;
+  int mesh_k_;
+  int slot_count_;
+};
+
+/// Dispersion of the supply pads along the ring: sum of squared cyclic gaps
+/// between consecutive supply slots, normalised so 1.0 means perfectly even
+/// spacing and larger values mean clustering. This is the paper's fast
+/// exchange-loop proxy for IR-drop (the "variation of dx and dy" of
+/// Eq. (1)): even pad spacing minimises the worst pad-to-load distance.
+/// Requires at least one supply net in `ring_order`.
+[[nodiscard]] double supply_dispersion(const std::vector<NetId>& ring_order,
+                                       const Netlist& netlist);
+
+/// Largest cyclic gap (in slots) between consecutive supply pads.
+[[nodiscard]] int max_supply_gap(const std::vector<NetId>& ring_order,
+                                 const Netlist& netlist);
+
+}  // namespace fp

@@ -1,0 +1,464 @@
+#include "power/solver.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fp {
+namespace {
+
+/// Dense description of the free-node system A v = b (pads eliminated).
+struct FreeSystem {
+  int k = 0;
+  std::vector<int> free_index;   // k*k -> index into free vectors, -1 = pad
+  std::vector<IPoint> free_node; // free index -> node
+  std::vector<double> diag;      // A_ii
+  std::vector<double> b;
+  double b_norm = 0.0;
+};
+
+FreeSystem build_system(const PowerGrid& grid) {
+  const int k = grid.k();
+  FreeSystem sys;
+  sys.k = k;
+  sys.free_index.assign(static_cast<std::size_t>(k) * static_cast<std::size_t>(k),
+                        -1);
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      if (grid.is_pad(x, y)) continue;
+      sys.free_index[static_cast<std::size_t>(y * k + x)] =
+          static_cast<int>(sys.free_node.size());
+      sys.free_node.push_back({x, y});
+    }
+  }
+  const double gx = grid.gx();
+  const double gy = grid.gy();
+  const double vdd = grid.spec().vdd;
+  sys.diag.resize(sys.free_node.size());
+  sys.b.resize(sys.free_node.size());
+  for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
+    const auto [x, y] = sys.free_node[i];
+    double d = 0.0;
+    double b = -grid.node_current(x, y);
+    const auto visit = [&](int nx, int ny, double g) {
+      if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;  // Neumann edge
+      d += g;
+      if (grid.is_pad(nx, ny)) b += g * vdd;
+    };
+    visit(x - 1, y, gx);
+    visit(x + 1, y, gx);
+    visit(x, y - 1, gy);
+    visit(x, y + 1, gy);
+    sys.diag[i] = d;
+    sys.b[i] = b;
+  }
+  double norm = 0.0;
+  for (const double v : sys.b) norm += v * v;
+  sys.b_norm = std::sqrt(norm);
+  return sys;
+}
+
+/// y = A x over free nodes (pads act as zero since they were folded into b).
+void apply(const FreeSystem& sys, const PowerGrid& grid,
+           const std::vector<double>& x, std::vector<double>& y) {
+  const int k = sys.k;
+  const double gx = grid.gx();
+  const double gy = grid.gy();
+  for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
+    const auto [nx0, ny0] = sys.free_node[i];
+    double acc = sys.diag[i] * x[i];
+    const auto visit = [&](int nx, int ny, double g) {
+      if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
+      const int fi = sys.free_index[static_cast<std::size_t>(ny * k + nx)];
+      if (fi >= 0) acc -= g * x[static_cast<std::size_t>(fi)];
+    };
+    visit(nx0 - 1, ny0, gx);
+    visit(nx0 + 1, ny0, gx);
+    visit(nx0, ny0 - 1, gy);
+    visit(nx0, ny0 + 1, gy);
+    y[i] = acc;
+  }
+}
+
+double relative_residual(const FreeSystem& sys, const PowerGrid& grid,
+                         const std::vector<double>& x) {
+  std::vector<double> ax(x.size());
+  apply(sys, grid, x, ax);
+  double rr = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = sys.b[i] - ax[i];
+    rr += r * r;
+  }
+  return sys.b_norm > 0.0 ? std::sqrt(rr) / sys.b_norm : std::sqrt(rr);
+}
+
+SolveResult finish(const FreeSystem& sys, const PowerGrid& grid,
+                   const std::vector<double>& x, int iterations) {
+  SolveResult result;
+  const auto k = static_cast<std::size_t>(sys.k);
+  result.voltage = Grid2D<double>(k, k, grid.spec().vdd);
+  for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
+    const auto [nx, ny] = sys.free_node[i];
+    result.voltage(static_cast<std::size_t>(nx), static_cast<std::size_t>(ny)) =
+        x[i];
+  }
+  result.iterations = iterations;
+  result.relative_residual = relative_residual(sys, grid, x);
+  return result;
+}
+
+SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
+                             const SolverOptions& options) {
+  const int k = sys.k;
+  const double gx = grid.gx();
+  const double gy = grid.gy();
+  const bool jacobi = options.kind == SolverKind::Jacobi;
+  const double omega =
+      options.kind == SolverKind::Sor ? options.sor_omega : 1.0;
+  require(omega > 0.0 && omega < 2.0,
+          "solve: SOR omega must lie in (0, 2) for convergence");
+
+  std::vector<double> x(sys.free_node.size(), grid.spec().vdd);
+  std::vector<double> next(jacobi ? x.size() : 0);
+
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
+      const auto [nx0, ny0] = sys.free_node[i];
+      double acc = sys.b[i];
+      const auto visit = [&](int nx, int ny, double g) {
+        if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
+        const int fi = sys.free_index[static_cast<std::size_t>(ny * k + nx)];
+        if (fi >= 0) acc += g * x[static_cast<std::size_t>(fi)];
+      };
+      visit(nx0 - 1, ny0, gx);
+      visit(nx0 + 1, ny0, gx);
+      visit(nx0, ny0 - 1, gy);
+      visit(nx0, ny0 + 1, gy);
+      const double candidate = acc / sys.diag[i];
+      if (jacobi) {
+        next[i] = candidate;
+      } else {
+        x[i] = (1.0 - omega) * x[i] + omega * candidate;
+      }
+    }
+    if (jacobi) x.swap(next);
+    // Convergence is checked on the true residual every few sweeps to keep
+    // the check from dominating the sweep cost.
+    if (iter % 8 == 7 &&
+        relative_residual(sys, grid, x) <= options.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  SolveResult result = finish(sys, grid, x, iter);
+  result.converged = result.relative_residual <= options.tolerance;
+  return result;
+}
+
+SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
+                     const SolverOptions& options) {
+  const std::size_t n = sys.free_node.size();
+  std::vector<double> x(n, grid.spec().vdd);
+  std::vector<double> r(n);
+  std::vector<double> z(n);
+  std::vector<double> p(n);
+  std::vector<double> ap(n);
+
+  apply(sys, grid, x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = sys.b[i] - ap[i];
+  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];  // Jacobi M^-1
+  p = z;
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+  const double b_norm = sys.b_norm > 0.0 ? sys.b_norm : 1.0;
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    double r_norm = 0.0;
+    for (const double v : r) r_norm += v * v;
+    if (std::sqrt(r_norm) / b_norm <= options.tolerance) break;
+
+    apply(sys, grid, p, ap);
+    double p_ap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
+    ensure(p_ap > 0.0, "solve_cg: system is not positive definite");
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];
+    double rz_next = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_next += r[i] * z[i];
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  SolveResult result = finish(sys, grid, x, iter);
+  result.converged = result.relative_residual <= options.tolerance;
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Geometric multigrid: V-cycles on the pinned-pad formulation. Level 0
+// carries the solution (pads at Vdd); coarser levels carry error
+// equations (pads at 0). The 5-point sheet-conductance stencil is
+// h-independent in 2-D, so every level reuses the same link conductances.
+// ---------------------------------------------------------------------
+struct MgLevel {
+  int k = 0;
+  std::vector<unsigned char> pad;  // k*k mask
+  std::vector<double> x, b, r;
+};
+
+class MultigridSolver {
+ public:
+  MultigridSolver(const PowerGrid& grid, const SolverOptions& options)
+      : grid_(grid), options_(options) {
+    // Build the level hierarchy by factor-2 coarsening with mask injection.
+    MgLevel fine;
+    fine.k = grid.k();
+    const auto n0 = static_cast<std::size_t>(fine.k) *
+                    static_cast<std::size_t>(fine.k);
+    fine.pad.assign(n0, 0);
+    fine.x.assign(n0, grid.spec().vdd);
+    fine.b.assign(n0, 0.0);
+    fine.r.assign(n0, 0.0);
+    for (int y = 0; y < fine.k; ++y) {
+      for (int x = 0; x < fine.k; ++x) {
+        const std::size_t i = index(fine.k, x, y);
+        fine.pad[i] = grid.is_pad(x, y) ? 1 : 0;
+        fine.b[i] = -grid.node_current(x, y);
+      }
+    }
+    levels_.push_back(std::move(fine));
+    while (levels_.back().k > 7) {
+      const MgLevel& parent = levels_.back();
+      MgLevel coarse;
+      coarse.k = (parent.k + 1) / 2;
+      const auto n = static_cast<std::size_t>(coarse.k) *
+                     static_cast<std::size_t>(coarse.k);
+      coarse.pad.assign(n, 0);
+      coarse.x.assign(n, 0.0);
+      coarse.b.assign(n, 0.0);
+      coarse.r.assign(n, 0.0);
+      // A coarse node is Dirichlet when any fine node of its 2x2 block is:
+      // this keeps every level non-singular (a pure-Neumann coarse system
+      // would make Gauss-Seidel drift off the inconsistent residual).
+      for (int y = 0; y < coarse.k; ++y) {
+        for (int x = 0; x < coarse.k; ++x) {
+          unsigned char is_pad = 0;
+          for (int dy = 0; dy <= 1; ++dy) {
+            for (int dx = 0; dx <= 1; ++dx) {
+              const int fx = std::min(2 * x + dx, parent.k - 1);
+              const int fy = std::min(2 * y + dy, parent.k - 1);
+              is_pad |= parent.pad[index(parent.k, fx, fy)];
+            }
+          }
+          coarse.pad[index(coarse.k, x, y)] = is_pad;
+        }
+      }
+      levels_.push_back(std::move(coarse));
+    }
+  }
+
+  SolveResult run() {
+    const double b_norm = norm(levels_.front().b);
+    int cycles = 0;
+    double rel = 1.0;
+    for (; cycles < options_.max_iterations; ++cycles) {
+      v_cycle(0);
+      residual(levels_.front());
+      rel = b_norm > 0.0 ? norm(levels_.front().r) / b_norm
+                         : norm(levels_.front().r);
+      if (rel <= options_.tolerance) {
+        ++cycles;
+        break;
+      }
+    }
+    SolveResult result;
+    const auto k = static_cast<std::size_t>(levels_.front().k);
+    result.voltage = Grid2D<double>(k, k, grid_.spec().vdd);
+    for (std::size_t y = 0; y < k; ++y) {
+      for (std::size_t x = 0; x < k; ++x) {
+        result.voltage(x, y) = levels_.front().x[y * k + x];
+      }
+    }
+    result.iterations = cycles;
+    result.relative_residual = rel;
+    result.converged = rel <= options_.tolerance;
+    return result;
+  }
+
+ private:
+  static std::size_t index(int k, int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(k) +
+           static_cast<std::size_t>(x);
+  }
+
+  static double norm(const std::vector<double>& v) {
+    double total = 0.0;
+    for (const double value : v) total += value * value;
+    return std::sqrt(total);
+  }
+
+  void smooth(MgLevel& level, int sweeps) const {
+    const int k = level.k;
+    const double gx = grid_.gx();
+    const double gy = grid_.gy();
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      for (int y = 0; y < k; ++y) {
+        for (int x = 0; x < k; ++x) {
+          const std::size_t i = index(k, x, y);
+          if (level.pad[i]) continue;
+          double diag = 0.0;
+          double acc = level.b[i];
+          const auto visit = [&](int nx, int ny, double g) {
+            if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
+            diag += g;
+            acc += g * level.x[index(k, nx, ny)];
+          };
+          visit(x - 1, y, gx);
+          visit(x + 1, y, gx);
+          visit(x, y - 1, gy);
+          visit(x, y + 1, gy);
+          level.x[i] = acc / diag;
+        }
+      }
+    }
+  }
+
+  void residual(MgLevel& level) const {
+    const int k = level.k;
+    const double gx = grid_.gx();
+    const double gy = grid_.gy();
+    for (int y = 0; y < k; ++y) {
+      for (int x = 0; x < k; ++x) {
+        const std::size_t i = index(k, x, y);
+        if (level.pad[i]) {
+          level.r[i] = 0.0;
+          continue;
+        }
+        double diag = 0.0;
+        double acc = 0.0;
+        const auto visit = [&](int nx, int ny, double g) {
+          if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
+          diag += g;
+          acc += g * level.x[index(k, nx, ny)];
+        };
+        visit(x - 1, y, gx);
+        visit(x + 1, y, gx);
+        visit(x, y - 1, gy);
+        visit(x, y + 1, gy);
+        level.r[i] = level.b[i] - (diag * level.x[i] - acc);
+      }
+    }
+  }
+
+  void v_cycle(std::size_t depth) {
+    MgLevel& level = levels_[depth];
+    if (depth + 1 == levels_.size()) {
+      smooth(level, 60);  // coarsest: relax to near-exact
+      return;
+    }
+    smooth(level, 2);
+    residual(level);
+
+    // Full-weighting restriction of the residual into the coarse RHS.
+    MgLevel& coarse = levels_[depth + 1];
+    std::fill(coarse.x.begin(), coarse.x.end(), 0.0);
+    for (int y = 0; y < coarse.k; ++y) {
+      for (int x = 0; x < coarse.k; ++x) {
+        const int fx = std::min(2 * x, level.k - 1);
+        const int fy = std::min(2 * y, level.k - 1);
+        double sum = 0.0;
+        double weight = 0.0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int nx = fx + dx;
+            const int ny = fy + dy;
+            if (nx < 0 || nx >= level.k || ny < 0 || ny >= level.k) continue;
+            const double w =
+                (dx == 0 ? 2.0 : 1.0) * (dy == 0 ? 2.0 : 1.0);
+            sum += w * level.r[index(level.k, nx, ny)];
+            weight += w;
+          }
+        }
+        coarse.b[index(coarse.k, x, y)] = 4.0 * sum / weight;
+      }
+    }
+
+    v_cycle(depth + 1);
+
+    // Bilinear prolongation of the coarse correction.
+    for (int y = 0; y < level.k; ++y) {
+      for (int x = 0; x < level.k; ++x) {
+        const std::size_t i = index(level.k, x, y);
+        if (level.pad[i]) continue;
+        const double cx = std::min(static_cast<double>(x) / 2.0,
+                                   static_cast<double>(coarse.k - 1));
+        const double cy = std::min(static_cast<double>(y) / 2.0,
+                                   static_cast<double>(coarse.k - 1));
+        const int x0 = static_cast<int>(cx);
+        const int y0 = static_cast<int>(cy);
+        const int x1 = std::min(x0 + 1, coarse.k - 1);
+        const int y1 = std::min(y0 + 1, coarse.k - 1);
+        const double tx = cx - x0;
+        const double ty = cy - y0;
+        const double correction =
+            (1.0 - tx) * (1.0 - ty) * coarse.x[index(coarse.k, x0, y0)] +
+            tx * (1.0 - ty) * coarse.x[index(coarse.k, x1, y0)] +
+            (1.0 - tx) * ty * coarse.x[index(coarse.k, x0, y1)] +
+            tx * ty * coarse.x[index(coarse.k, x1, y1)];
+        level.x[i] += correction;
+      }
+    }
+    smooth(level, 2);
+  }
+
+  const PowerGrid& grid_;
+  SolverOptions options_;
+  std::vector<MgLevel> levels_;
+};
+
+}  // namespace
+
+SolveResult solve(const PowerGrid& grid, const SolverOptions& options) {
+  require(!grid.pads().empty(),
+          "solve: power grid needs at least one pad (singular system)");
+  require(options.tolerance > 0.0, "solve: tolerance must be positive");
+  require(options.max_iterations > 0,
+          "solve: max_iterations must be positive");
+  const FreeSystem sys = build_system(grid);
+  if (sys.free_node.empty()) {
+    // Every node is a pad: the field is exactly Vdd.
+    SolveResult result;
+    const auto k = static_cast<std::size_t>(grid.k());
+    result.voltage = Grid2D<double>(k, k, grid.spec().vdd);
+    result.converged = true;
+    return result;
+  }
+  if (options.kind == SolverKind::ConjugateGradient) {
+    return solve_cg(sys, grid, options);
+  }
+  if (options.kind == SolverKind::Multigrid) {
+    return MultigridSolver(grid, options).run();
+  }
+  return solve_relaxation(sys, grid, options);
+}
+
+double max_ir_drop(const PowerGrid& grid, const SolveResult& result) {
+  double lowest = grid.spec().vdd;
+  for (const double v : result.voltage.data()) lowest = std::min(lowest, v);
+  return grid.spec().vdd - lowest;
+}
+
+double mean_ir_drop(const PowerGrid& grid, const SolveResult& result) {
+  double total = 0.0;
+  for (const double v : result.voltage.data()) total += grid.spec().vdd - v;
+  return result.voltage.size() > 0
+             ? total / static_cast<double>(result.voltage.size())
+             : 0.0;
+}
+
+}  // namespace fp

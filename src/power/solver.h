@@ -1,0 +1,54 @@
+// Linear solvers for the power mesh of power_grid.h.
+//
+// The system is the 5-point Laplacian with uniform link conductances,
+// Dirichlet (Vdd) pad nodes and Neumann die edges -- symmetric positive
+// definite on the free nodes as long as at least one pad exists. Four
+// back-ends are provided; they must agree within tolerance (a property the
+// test suite checks):
+//   * Jacobi          -- reference implementation, slowest;
+//   * GaussSeidel     -- classic relaxation;
+//   * Sor             -- Gauss-Seidel with over-relaxation (omega ~ 1.8);
+//   * ConjugateGradient -- Jacobi-preconditioned CG, the default;
+//   * Multigrid       -- geometric V-cycles (Gauss-Seidel smoothing,
+//     full-weighting restriction, bilinear prolongation, pad mask injected
+//     to the coarse levels), in the spirit of the fast power-grid solvers
+//     the paper cites ([21], [22]); mesh-size-independent convergence.
+#pragma once
+
+#include "geom/grid2d.h"
+#include "power/power_grid.h"
+
+namespace fp {
+
+enum class SolverKind { Jacobi, GaussSeidel, Sor, ConjugateGradient, Multigrid };
+
+struct SolverOptions {
+  SolverKind kind = SolverKind::ConjugateGradient;
+  /// Convergence threshold on the relative residual |r| / |b|.
+  double tolerance = 1e-9;
+  int max_iterations = 50000;
+  /// Over-relaxation factor, used by Sor only.
+  double sor_omega = 1.8;
+};
+
+struct SolveResult {
+  Grid2D<double> voltage;  // volts at every node
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves for the node voltages. Throws InvalidArgument when the grid has
+/// no pads (the system would be singular).
+[[nodiscard]] SolveResult solve(const PowerGrid& grid,
+                                const SolverOptions& options = {});
+
+/// Worst IR-drop: Vdd minus the lowest node voltage (volts).
+[[nodiscard]] double max_ir_drop(const PowerGrid& grid,
+                                 const SolveResult& result);
+
+/// Mean IR-drop over all nodes (volts).
+[[nodiscard]] double mean_ir_drop(const PowerGrid& grid,
+                                  const SolveResult& result);
+
+}  // namespace fp

@@ -1,0 +1,79 @@
+#include "power/spice_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace fp {
+namespace {
+
+std::string node(int x, int y) {
+  return "n_" + std::to_string(x) + "_" + std::to_string(y);
+}
+
+std::string fmt(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.9g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string write_spice_deck(const PowerGrid& grid,
+                             const std::string& title) {
+  require(!grid.pads().empty(),
+          "write_spice_deck: mesh without pads is singular");
+  const int k = grid.k();
+  const double rx = grid.spec().sheet_res_x;
+  const double ry = grid.spec().sheet_res_y;
+
+  std::string out = "* " + title + "\n";
+  out += "* " + std::to_string(k) + "x" + std::to_string(k) +
+         " power mesh, vdd " + fmt(grid.spec().vdd) + "V\n";
+
+  int r_index = 0;
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      if (x + 1 < k) {
+        out += "R" + std::to_string(++r_index) + " " + node(x, y) + " " +
+               node(x + 1, y) + " " + fmt(rx) + "\n";
+      }
+      if (y + 1 < k) {
+        out += "R" + std::to_string(++r_index) + " " + node(x, y) + " " +
+               node(x, y + 1) + " " + fmt(ry) + "\n";
+      }
+    }
+  }
+
+  int i_index = 0;
+  for (int y = 0; y < k; ++y) {
+    for (int x = 0; x < k; ++x) {
+      const double current = grid.node_current(x, y);
+      if (current > 0.0) {
+        // Load current flows from the node to ground.
+        out += "I" + std::to_string(++i_index) + " " + node(x, y) + " 0 " +
+               fmt(current) + "\n";
+      }
+    }
+  }
+
+  int v_index = 0;
+  for (const IPoint pad : grid.pads()) {
+    out += "V" + std::to_string(++v_index) + " " + node(pad.x, pad.y) +
+           " 0 " + fmt(grid.spec().vdd) + "\n";
+  }
+
+  out += ".op\n.end\n";
+  return out;
+}
+
+void save_spice_deck(const PowerGrid& grid, const std::string& path,
+                     const std::string& title) {
+  std::ofstream file(path);
+  if (!file) throw IoError("save_spice_deck: cannot open '" + path + "'");
+  file << write_spice_deck(grid, title);
+  if (!file) throw IoError("save_spice_deck: write to '" + path + "' failed");
+}
+
+}  // namespace fp

@@ -1,0 +1,47 @@
+#include "route/cutline.h"
+
+#include <algorithm>
+
+namespace fp {
+
+CutLineReport analyze_cut_lines(const Package& package,
+                                const PackageAssignment& assignment,
+                                CrossingStrategy strategy) {
+  require(static_cast<int>(assignment.quadrants.size()) ==
+              package.quadrant_count(),
+          "analyze_cut_lines: assignment/package quadrant count mismatch");
+  const int count = package.quadrant_count();
+
+  // Right-edge and left-edge gap loads per quadrant, per row.
+  std::vector<std::vector<int>> left_loads(static_cast<std::size_t>(count));
+  std::vector<std::vector<int>> right_loads(static_cast<std::size_t>(count));
+  for (int qi = 0; qi < count; ++qi) {
+    const Quadrant& quadrant = package.quadrant(qi);
+    const DensityMap density(
+        quadrant, assignment.quadrants[static_cast<std::size_t>(qi)],
+        strategy);
+    for (int r = 0; r < quadrant.row_count(); ++r) {
+      const std::vector<int>& loads = density.row_densities(r);
+      left_loads[static_cast<std::size_t>(qi)].push_back(loads.front());
+      right_loads[static_cast<std::size_t>(qi)].push_back(loads.back());
+    }
+  }
+
+  CutLineReport report;
+  report.boundary_max.assign(static_cast<std::size_t>(count), 0);
+  for (int b = 0; b < count; ++b) {
+    const auto& right = right_loads[static_cast<std::size_t>(b)];
+    const auto& left =
+        left_loads[static_cast<std::size_t>((b + 1) % count)];
+    const std::size_t rows = std::min(right.size(), left.size());
+    int worst = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      worst = std::max(worst, right[r] + left[r]);
+    }
+    report.boundary_max[static_cast<std::size_t>(b)] = worst;
+    report.max_density = std::max(report.max_density, worst);
+  }
+  return report;
+}
+
+}  // namespace fp

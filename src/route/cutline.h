@@ -1,0 +1,34 @@
+// Congestion along the diagonal cut-lines between neighbouring quadrants.
+//
+// The package is cut into four triangles that are planned independently,
+// but physically "two neighbouring triangles contribute to the congestion
+// along the cut-line" (Section 3.1.2) -- the outermost gap of one quadrant
+// row and the outermost gap of its neighbour's matching row share the
+// diagonal. DFA's n >= 2 setting exists precisely to reserve margin there;
+// this module measures what that margin buys.
+#pragma once
+
+#include <vector>
+
+#include "package/assignment.h"
+#include "package/package.h"
+#include "route/density.h"
+
+namespace fp {
+
+struct CutLineReport {
+  /// Combined density of each quadrant boundary (boundary b joins quadrant
+  /// b's right edge with quadrant (b+1) % count's left edge), max over the
+  /// paired rows.
+  std::vector<int> boundary_max;
+  /// Hottest boundary overall.
+  int max_density = 0;
+};
+
+/// Pairs row r of each quadrant with row r of the next (cyclically) and
+/// adds their boundary-gap loads.
+[[nodiscard]] CutLineReport analyze_cut_lines(
+    const Package& package, const PackageAssignment& assignment,
+    CrossingStrategy strategy = CrossingStrategy::Balanced);
+
+}  // namespace fp

@@ -1,0 +1,196 @@
+#include "route/density.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "route/legality.h"
+
+namespace fp {
+namespace {
+
+/// x coordinate of a gap centre on `row` (gap g lies between via slots g-1
+/// and g; end gaps extend half a pitch beyond the outer slots).
+double gap_center_x(const Quadrant& q, int row, int gap) {
+  const int slots = q.via_slots_in_row(row);
+  if (gap == 0) {
+    return q.via_slot_position(row, 0).x - 0.5 * q.geometry().bump_space_um;
+  }
+  if (gap == slots) {
+    return q.via_slot_position(row, slots - 1).x +
+           0.5 * q.geometry().bump_space_um;
+  }
+  return 0.5 * (q.via_slot_position(row, gap - 1).x +
+                q.via_slot_position(row, gap).x);
+}
+
+}  // namespace
+
+DensityMap::DensityMap(const Quadrant& quadrant,
+                       const QuadrantAssignment& assignment,
+                       CrossingStrategy strategy)
+    : DensityMap(quadrant, assignment, QuadrantViaPlan::bottom_left(quadrant),
+                 strategy) {}
+
+DensityMap::DensityMap(const Quadrant& quadrant,
+                       const QuadrantAssignment& assignment,
+                       const QuadrantViaPlan& plan, CrossingStrategy strategy)
+    : quadrant_(&quadrant) {
+  if (const auto violation = find_violation(quadrant, assignment)) {
+    throw InvalidArgument("DensityMap: " + violation->to_string());
+  }
+  if (const auto problem = validate_via_plan(quadrant, plan)) {
+    throw InvalidArgument("DensityMap: " + *problem);
+  }
+
+  const int rows = quadrant.row_count();
+  gap_counts_.resize(static_cast<std::size_t>(rows));
+  crossing_gap_of_net_.resize(static_cast<std::size_t>(rows));
+
+  // Dense finger-slot lookup over the quadrant's net id range.
+  NetId min_id = assignment.order.front();
+  NetId max_id = assignment.order.front();
+  for (const NetId net : assignment.order) {
+    min_id = std::min(min_id, net);
+    max_id = std::max(max_id, net);
+  }
+  min_id_ = min_id;
+  const std::size_t id_span = static_cast<std::size_t>(max_id - min_id + 1);
+  std::vector<int> finger_of(id_span, -1);
+  for (int a = 0; a < assignment.size(); ++a) {
+    finger_of[static_cast<std::size_t>(
+        assignment.order[static_cast<std::size_t>(a)] - min_id)] = a;
+  }
+
+  // Crossing x of each net on the line above the one being processed;
+  // initialised from the finger positions (nets descend from the fingers).
+  std::vector<double> prev_x(id_span, 0.0);
+  for (int a = 0; a < assignment.size(); ++a) {
+    prev_x[static_cast<std::size_t>(
+        assignment.order[static_cast<std::size_t>(a)] - min_id)] =
+        quadrant.finger_position(a).x;
+  }
+
+  for (int r = rows - 1; r >= 0; --r) {
+    const int m = quadrant.bumps_in_row(r);
+    const int gaps = quadrant.gaps_in_row(r);  // m + 2
+    auto& counts = gap_counts_[static_cast<std::size_t>(r)];
+    counts.assign(static_cast<std::size_t>(gaps), 0);
+    auto& cross = crossing_gap_of_net_[static_cast<std::size_t>(r)];
+    cross.assign(id_span, -1);
+
+    // Finger slots of this row's terminating nets, ascending (legality).
+    std::vector<int> term_fingers;
+    term_fingers.reserve(static_cast<std::size_t>(m));
+    for (const NetId net : quadrant.row_nets(r)) {
+      term_fingers.push_back(
+          finger_of[static_cast<std::size_t>(net - min_id)]);
+    }
+
+    // Crossing nets in finger order, with their forced gap window.
+    // t = number of terminators on fingers left of the crosser; the
+    // crosser must pass between the via slot of terminator t-1 and that of
+    // terminator t. Under the default bottom-left plan that forces a
+    // single gap everywhere except right of the last terminator; shifted
+    // via plans open wider windows elsewhere.
+    const auto& via_slots = plan.rows[static_cast<std::size_t>(r)].slot_of_bump;
+    struct Crosser {
+      NetId net;
+      int t;
+    };
+    std::vector<Crosser> crossers;
+    for (int a = 0; a < assignment.size(); ++a) {
+      const NetId net = assignment.order[static_cast<std::size_t>(a)];
+      if (quadrant.net_row(net) >= r) continue;  // terminates here or deeper
+      const auto it =
+          std::upper_bound(term_fingers.begin(), term_fingers.end(), a);
+      crossers.push_back({net, static_cast<int>(it - term_fingers.begin())});
+    }
+
+    // Group consecutive crossers sharing a window and distribute.
+    std::size_t i = 0;
+    while (i < crossers.size()) {
+      std::size_t j = i;
+      while (j < crossers.size() && crossers[j].t == crossers[i].t) ++j;
+      const int t = crossers[i].t;
+      const int lo =
+          t == 0 ? 0 : via_slots[static_cast<std::size_t>(t - 1)] + 1;
+      const int hi =
+          (t == m) ? m + 1 : via_slots[static_cast<std::size_t>(t)];
+      const int window = hi - lo + 1;
+      const auto k = static_cast<int>(j - i);
+      int prev_gap = lo;
+      for (int u = 0; u < k; ++u) {
+        const NetId net = crossers[i + static_cast<std::size_t>(u)].net;
+        int gap = lo;
+        if (window > 1) {
+          if (strategy == CrossingStrategy::Balanced) {
+            gap = lo + (u * window) / k;
+          } else {  // Nearest: pick the window gap closest to the descent x,
+                    // never stepping left of an earlier same-window net.
+            double best = std::numeric_limits<double>::max();
+            const double from =
+                prev_x[static_cast<std::size_t>(net - min_id)];
+            for (int g = prev_gap; g <= hi; ++g) {
+              const double d = std::abs(gap_center_x(quadrant, r, g) - from);
+              if (d < best) {
+                best = d;
+                gap = g;
+              }
+            }
+            prev_gap = gap;
+          }
+        }
+        ++counts[static_cast<std::size_t>(gap)];
+        cross[static_cast<std::size_t>(net - min_id)] = gap;
+        prev_x[static_cast<std::size_t>(net - min_id)] =
+            gap_center_x(quadrant, r, gap);
+      }
+      i = j;
+    }
+  }
+}
+
+int DensityMap::gap_density(int row, int gap) const {
+  require(row >= 0 && row < row_count(), "DensityMap: row out of range");
+  const auto& counts = gap_counts_[static_cast<std::size_t>(row)];
+  require(gap >= 0 && static_cast<std::size_t>(gap) < counts.size(),
+          "DensityMap: gap out of range");
+  return counts[static_cast<std::size_t>(gap)];
+}
+
+const std::vector<int>& DensityMap::row_densities(int row) const {
+  require(row >= 0 && row < row_count(), "DensityMap: row out of range");
+  return gap_counts_[static_cast<std::size_t>(row)];
+}
+
+int DensityMap::row_max(int row) const {
+  const auto& counts = row_densities(row);
+  return *std::max_element(counts.begin(), counts.end());
+}
+
+int DensityMap::max_density() const {
+  int best = 0;
+  for (int r = 0; r < row_count(); ++r) best = std::max(best, row_max(r));
+  return best;
+}
+
+long long DensityMap::total_crossings() const {
+  long long total = 0;
+  for (const auto& counts : gap_counts_) {
+    total += std::accumulate(counts.begin(), counts.end(), 0LL);
+  }
+  return total;
+}
+
+int DensityMap::crossing_gap(NetId net, int row) const {
+  require(row >= 0 && row < row_count(), "DensityMap: row out of range");
+  const auto& cross = crossing_gap_of_net_[static_cast<std::size_t>(row)];
+  const std::size_t slot = static_cast<std::size_t>(net - min_id_);
+  require(net >= min_id_ && slot < cross.size(),
+          "DensityMap: net outside quadrant");
+  return cross[slot];
+}
+
+}  // namespace fp

@@ -1,0 +1,80 @@
+#include "route/design_rules.h"
+
+#include <algorithm>
+
+namespace fp {
+
+int gap_capacity(const Quadrant& quadrant, const DrcRules& rules) {
+  require(rules.wire_width_um > 0.0 && rules.wire_space_um > 0.0,
+          "gap_capacity: wire width/space must be positive");
+  // A gap spans one bump pitch between via slot centres; the via landing
+  // (diameter) eats into it from both neighbouring slots by a radius each.
+  const double span = quadrant.geometry().bump_space_um -
+                      quadrant.geometry().via_diameter_um;
+  if (span <= 0.0) return 0;
+  return static_cast<int>(span / rules.wire_pitch_um());
+}
+
+namespace {
+
+void check_quadrant(const Quadrant& quadrant,
+                    const QuadrantAssignment& assignment,
+                    const DrcRules& rules, CrossingStrategy strategy,
+                    int quadrant_index, DrcReport& report) {
+  const int capacity = gap_capacity(quadrant, rules);
+  const DensityMap density(quadrant, assignment, strategy);
+  for (int r = 0; r < density.row_count(); ++r) {
+    const std::vector<int>& loads = density.row_densities(r);
+    for (int g = 0; g < static_cast<int>(loads.size()); ++g) {
+      const int load = loads[static_cast<std::size_t>(g)];
+      if (load > capacity) {
+        report.violations.push_back(
+            GapViolation{quadrant_index, r, g, load, capacity});
+        report.total_overflow += load - capacity;
+      }
+    }
+  }
+}
+
+void sort_report(DrcReport& report) {
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const GapViolation& a, const GapViolation& b) {
+              return a.load - a.capacity > b.load - b.capacity;
+            });
+}
+
+}  // namespace
+
+DrcReport check_design_rules(const Quadrant& quadrant,
+                             const QuadrantAssignment& assignment,
+                             const DrcRules& rules,
+                             CrossingStrategy strategy) {
+  DrcReport report;
+  report.min_gap_capacity = gap_capacity(quadrant, rules);
+  check_quadrant(quadrant, assignment, rules, strategy, 0, report);
+  sort_report(report);
+  return report;
+}
+
+DrcReport check_design_rules(const Package& package,
+                             const PackageAssignment& assignment,
+                             const DrcRules& rules,
+                             CrossingStrategy strategy) {
+  require(static_cast<int>(assignment.quadrants.size()) ==
+              package.quadrant_count(),
+          "check_design_rules: assignment/package quadrant count mismatch");
+  DrcReport report;
+  report.min_gap_capacity =
+      gap_capacity(package.quadrant(0), rules);
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    report.min_gap_capacity = std::min(
+        report.min_gap_capacity, gap_capacity(package.quadrant(qi), rules));
+    check_quadrant(package.quadrant(qi),
+                   assignment.quadrants[static_cast<std::size_t>(qi)], rules,
+                   strategy, qi, report);
+  }
+  sort_report(report);
+  return report;
+}
+
+}  // namespace fp

@@ -1,0 +1,66 @@
+// Design-rule capacity check on the congestion map.
+//
+// The paper motivates density control with "if the density is higher ...
+// a violation of design rules probably occurred". This module makes that
+// quantitative: a gap between two via slots is one bump pitch wide (minus
+// the via landing), so it fits a bounded number of wires at a given wire
+// width/spacing. A gap whose crossing load exceeds its capacity is a DRC
+// violation; DrcReport aggregates them over a quadrant or a package.
+#pragma once
+
+#include <vector>
+
+#include "package/assignment.h"
+#include "package/package.h"
+#include "route/density.h"
+
+namespace fp {
+
+struct DrcRules {
+  /// Routed wire width and spacing on layer 1 (um).
+  double wire_width_um = 0.05;
+  double wire_space_um = 0.05;
+
+  [[nodiscard]] constexpr double wire_pitch_um() const {
+    return wire_width_um + wire_space_um;
+  }
+};
+
+struct GapViolation {
+  int quadrant = 0;
+  int row = 0;
+  int gap = 0;
+  int load = 0;
+  int capacity = 0;
+};
+
+struct DrcReport {
+  /// Per-gap violations (load > capacity), hottest overflow first.
+  std::vector<GapViolation> violations;
+  /// Total wires beyond capacity, summed over violating gaps.
+  int total_overflow = 0;
+  /// Smallest capacity of any gap (the binding constraint of the layout).
+  int min_gap_capacity = 0;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+};
+
+/// Wires that fit through one gap of `quadrant` under `rules`. End gaps
+/// (outside the outer via slots) are treated like interior ones.
+[[nodiscard]] int gap_capacity(const Quadrant& quadrant, const DrcRules& rules);
+
+/// Checks one quadrant's congestion map against the rules.
+[[nodiscard]] DrcReport check_design_rules(const Quadrant& quadrant,
+                                           const QuadrantAssignment& assignment,
+                                           const DrcRules& rules = {},
+                                           CrossingStrategy strategy =
+                                               CrossingStrategy::Balanced);
+
+/// Checks the whole package (quadrant indices recorded in the violations).
+[[nodiscard]] DrcReport check_design_rules(const Package& package,
+                                           const PackageAssignment& assignment,
+                                           const DrcRules& rules = {},
+                                           CrossingStrategy strategy =
+                                               CrossingStrategy::Balanced);
+
+}  // namespace fp

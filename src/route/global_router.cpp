@@ -1,0 +1,255 @@
+#include "route/global_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "route/legality.h"
+
+namespace fp {
+namespace {
+
+/// x coordinate of finger `a`'s via given its bump and corner shift.
+double via_x_of(const Quadrant& q, NetId net, int shift) {
+  const double pitch = q.geometry().bump_space_um;
+  const Point bump = q.bump_position(q.net_row(net), q.net_col(net));
+  return bump.x + (static_cast<double>(shift) - 0.5) * pitch;
+}
+
+/// Slot index of row `row` nearest to x, or -1 when x is not aligned with
+/// any slot of that row (the via would not sit between four bump balls).
+int slot_at(const Quadrant& q, int row, double x) {
+  const double pitch = q.geometry().bump_space_um;
+  const int m = q.bumps_in_row(row);
+  const double x0 = -0.5 * static_cast<double>(m - 1) * pitch;
+  const double index = (x - x0) / pitch + 0.5;
+  const int j = static_cast<int>(std::lround(index));
+  if (j < 0 || j > m) return -1;
+  if (std::abs(index - static_cast<double>(j)) > 0.25) return -1;
+  return j;
+}
+
+/// Layer-2 gap of row `row` for a wire descending at x: the number of
+/// bump balls left of it.
+int layer2_gap_at(const Quadrant& q, int row, double x) {
+  const int m = q.bumps_in_row(row);
+  int count = 0;
+  while (count < m && q.bump_position(row, count).x < x) ++count;
+  return count;
+}
+
+using Objective = std::tuple<int, long long, int>;
+
+Objective objective_of(const GlobalCongestion& congestion) {
+  long long pressure = 0;
+  for (const auto& row : congestion.layer1) {
+    for (const int load : row) pressure += static_cast<long long>(load) * load;
+  }
+  for (const auto& row : congestion.layer2) {
+    for (const int load : row) pressure += static_cast<long long>(load) * load;
+  }
+  return {congestion.max_density(), pressure, congestion.layer2_rows};
+}
+
+}  // namespace
+
+GlobalRouteConfig GlobalRouter::fixed_config(
+    const Quadrant& quadrant, const QuadrantAssignment& assignment) {
+  GlobalRouteConfig config;
+  config.via_of_finger.reserve(static_cast<std::size_t>(assignment.size()));
+  for (const NetId net : assignment.order) {
+    config.via_of_finger.push_back(ViaSite{quadrant.net_row(net), 0});
+  }
+  return config;
+}
+
+std::optional<std::string> GlobalRouter::validate(
+    const Quadrant& quadrant, const QuadrantAssignment& assignment,
+    const GlobalRouteConfig& config) {
+  if (!is_permutation_of(assignment, quadrant)) {
+    return "assignment is not a permutation of the quadrant";
+  }
+  if (static_cast<int>(config.via_of_finger.size()) != assignment.size()) {
+    return "config size differs from assignment";
+  }
+  std::set<std::pair<int, int>> cells;
+  // Anchors per row in finger order, to check the monotone slot rule.
+  std::vector<int> last_anchor_slot(
+      static_cast<std::size_t>(quadrant.row_count()), -1);
+  for (int a = 0; a < assignment.size(); ++a) {
+    const NetId net = assignment.order[static_cast<std::size_t>(a)];
+    const ViaSite& site = config.via_of_finger[static_cast<std::size_t>(a)];
+    if (site.shift != 0 && site.shift != 1) {
+      return "finger " + std::to_string(a) + ": shift must be 0 or 1";
+    }
+    if (site.row < quadrant.net_row(net) || site.row > quadrant.top_row()) {
+      return "finger " + std::to_string(a) +
+             ": via row outside [bump row, top row]";
+    }
+    const int slot = slot_at(quadrant, site.row, via_x_of(quadrant, net,
+                                                          site.shift));
+    if (slot < 0) {
+      return "finger " + std::to_string(a) +
+             ": via x does not align with a slot of row " +
+             std::to_string(site.row);
+    }
+    if (!cells.insert({site.row, slot}).second) {
+      return "finger " + std::to_string(a) + ": via cell (row " +
+             std::to_string(site.row) + ", slot " + std::to_string(slot) +
+             ") already used";
+    }
+    int& last = last_anchor_slot[static_cast<std::size_t>(site.row)];
+    if (slot <= last) {
+      return "finger " + std::to_string(a) + ": via slot order on row " +
+             std::to_string(site.row) + " violates the monotone rule";
+    }
+    last = slot;
+  }
+  return std::nullopt;
+}
+
+GlobalCongestion GlobalRouter::evaluate(
+    const Quadrant& quadrant, const QuadrantAssignment& assignment,
+    const GlobalRouteConfig& config) const {
+  if (const auto problem = validate(quadrant, assignment, config)) {
+    throw InvalidArgument("GlobalRouter: " + *problem);
+  }
+  const int rows = quadrant.row_count();
+  GlobalCongestion congestion;
+  congestion.layer1.resize(static_cast<std::size_t>(rows));
+  congestion.layer2.resize(static_cast<std::size_t>(rows));
+
+  for (int r = 0; r < rows; ++r) {
+    const int m = quadrant.bumps_in_row(r);
+    congestion.layer1[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(m) + 2, 0);
+    congestion.layer2[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(m) + 1, 0);
+  }
+
+  for (int r = 0; r < rows; ++r) {
+    // Anchors (vias) of this row in finger order; slots ascend (validated).
+    std::vector<int> anchor_fingers;
+    std::vector<int> anchor_slots;
+    for (int a = 0; a < assignment.size(); ++a) {
+      const ViaSite& site =
+          config.via_of_finger[static_cast<std::size_t>(a)];
+      if (site.row != r) continue;
+      const NetId net = assignment.order[static_cast<std::size_t>(a)];
+      anchor_fingers.push_back(a);
+      anchor_slots.push_back(
+          slot_at(quadrant, r, via_x_of(quadrant, net, site.shift)));
+    }
+
+    // Layer-1 crossers grouped by window.
+    auto& l1 = congestion.layer1[static_cast<std::size_t>(r)];
+    const int m = quadrant.bumps_in_row(r);
+    int group_t = -1;
+    std::vector<int> group;  // finger indices of the current window
+    const auto flush_group = [&]() {
+      if (group.empty()) return;
+      const int k = static_cast<int>(group.size());
+      const int lo =
+          group_t == 0
+              ? 0
+              : anchor_slots[static_cast<std::size_t>(group_t - 1)] + 1;
+      const int hi = group_t == static_cast<int>(anchor_slots.size())
+                         ? m + 1
+                         : anchor_slots[static_cast<std::size_t>(group_t)];
+      const int width = hi - lo + 1;
+      for (int u = 0; u < k; ++u) {
+        const int gap = lo + (u * width) / k;
+        ++l1[static_cast<std::size_t>(gap)];
+      }
+      group.clear();
+    };
+    for (int a = 0; a < assignment.size(); ++a) {
+      const ViaSite& site =
+          config.via_of_finger[static_cast<std::size_t>(a)];
+      if (site.row >= r) continue;  // via here or deeper: not on layer 1
+      const auto it = std::upper_bound(anchor_fingers.begin(),
+                                       anchor_fingers.end(), a);
+      const int t = static_cast<int>(it - anchor_fingers.begin());
+      if (t != group_t) {
+        flush_group();
+        group_t = t;
+      }
+      group.push_back(a);
+    }
+    flush_group();
+
+    // Layer-2 crossers: via above this row, bump below it.
+    auto& l2 = congestion.layer2[static_cast<std::size_t>(r)];
+    for (int a = 0; a < assignment.size(); ++a) {
+      const NetId net = assignment.order[static_cast<std::size_t>(a)];
+      const ViaSite& site =
+          config.via_of_finger[static_cast<std::size_t>(a)];
+      if (quadrant.net_row(net) < r && r < site.row) {
+        ++l2[static_cast<std::size_t>(layer2_gap_at(
+            quadrant, r, via_x_of(quadrant, net, site.shift)))];
+      }
+    }
+  }
+
+  for (int a = 0; a < assignment.size(); ++a) {
+    const NetId net = assignment.order[static_cast<std::size_t>(a)];
+    congestion.layer2_rows +=
+        config.via_of_finger[static_cast<std::size_t>(a)].row -
+        quadrant.net_row(net);
+  }
+
+  for (const auto& row : congestion.layer1) {
+    for (const int load : row) {
+      congestion.max_layer1 = std::max(congestion.max_layer1, load);
+    }
+  }
+  for (const auto& row : congestion.layer2) {
+    for (const int load : row) {
+      congestion.max_layer2 = std::max(congestion.max_layer2, load);
+    }
+  }
+  return congestion;
+}
+
+GlobalRouteConfig GlobalRouter::improve(
+    const Quadrant& quadrant, const QuadrantAssignment& assignment) const {
+  GlobalRouteConfig config = fixed_config(quadrant, assignment);
+  Objective best = objective_of(evaluate(quadrant, assignment, config));
+
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    bool changed = false;
+    for (int a = 0; a < assignment.size(); ++a) {
+      ViaSite& site = config.via_of_finger[static_cast<std::size_t>(a)];
+      const ViaSite original = site;
+      ViaSite best_site = original;
+      Objective best_here = best;
+
+      std::vector<ViaSite> candidates;
+      candidates.push_back(ViaSite{original.row + 1, original.shift});
+      candidates.push_back(ViaSite{original.row - 1, original.shift});
+      if (options_.allow_corner_shift) {
+        candidates.push_back(ViaSite{original.row, 1 - original.shift});
+      }
+      for (const ViaSite candidate : candidates) {
+        site = candidate;
+        if (validate(quadrant, assignment, config).has_value()) continue;
+        const Objective trial =
+            objective_of(evaluate(quadrant, assignment, config));
+        if (trial < best_here) {
+          best_here = trial;
+          best_site = candidate;
+        }
+      }
+      site = best_site;
+      if (best_here < best) {
+        best = best_here;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return config;
+}
+
+}  // namespace fp

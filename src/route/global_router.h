@@ -1,0 +1,101 @@
+// Two-layer global routing with free via placement -- the full
+// Kubo-Takahashi [10] capability the paper's fixed-via model specialises.
+//
+// In the fixed model every net dives through the via at its own bump's
+// corner, so the whole route lives on layer 1 and congestion concentrates
+// there. [10]'s router may instead place the via anywhere along the net's
+// descent: the net runs on layer 1 from its finger down to the via row,
+// drops through a via cell there, and continues on layer 2 (under the
+// bump-ball layer) straight down its bump's column. Raising a via above a
+// hot line moves that net's crossing from layer 1 to layer 2 -- the
+// iterative-improvement lever this module implements.
+//
+// Model:
+//  * A net with bump (r, c) may via at any row vr in [r, top] at the x of
+//    its bump's left corner (or, shifted, the right corner). The via cell
+//    is the nearest slot of row vr at that x; "at most one via between
+//    four adjacent bump balls" = one net per cell.
+//  * Layer-1 congestion: as in DensityMap, but a row's anchors are the
+//    nets *via-ing* there (monotone rule: their slot order must equal
+//    their finger order); crossers are nets whose via is deeper.
+//  * Layer-2 congestion: a net crosses every row strictly between its via
+//    row and its bump row, through the gap between that row's bump balls
+//    at its column x.
+//  * Objective (lexicographic): overall max gap load on either layer, then
+//    the sum of squared loads (pressure), then total extra layer-2 rows
+//    (shorter vias preferred).
+//
+// GlobalRouter::improve starts from the paper's fixed configuration and
+// applies first-improvement passes of single-net moves (via row +-1,
+// corner toggle) until a local optimum.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "package/assignment.h"
+#include "package/quadrant.h"
+
+namespace fp {
+
+struct ViaSite {
+  int row = 0;   // via row (>= the net's bump row)
+  int shift = 0; // 0 = bump's left corner, 1 = right corner
+};
+
+/// Via site per finger index (position a of the assignment order).
+struct GlobalRouteConfig {
+  std::vector<ViaSite> via_of_finger;
+};
+
+struct GlobalCongestion {
+  /// Layer-1 gap loads per row (gaps delimited by via slots: m+2 entries).
+  std::vector<std::vector<int>> layer1;
+  /// Layer-2 gap loads per row (gaps between bump balls: m+1 entries).
+  std::vector<std::vector<int>> layer2;
+  int max_layer1 = 0;
+  int max_layer2 = 0;
+  /// Total rows travelled on layer 2 beyond the bump row (wire cost).
+  int layer2_rows = 0;
+
+  [[nodiscard]] int max_density() const {
+    return max_layer1 > max_layer2 ? max_layer1 : max_layer2;
+  }
+};
+
+class GlobalRouter {
+ public:
+  struct Options {
+    int max_passes = 16;
+    bool allow_corner_shift = true;
+  };
+
+  GlobalRouter() : options_(Options{}) {}
+  explicit GlobalRouter(Options options) : options_(options) {}
+
+  /// The paper's fixed configuration: via at the bump row, left corner.
+  [[nodiscard]] static GlobalRouteConfig fixed_config(
+      const Quadrant& quadrant, const QuadrantAssignment& assignment);
+
+  /// Validates a configuration; nullopt when legal, else a diagnostic.
+  [[nodiscard]] static std::optional<std::string> validate(
+      const Quadrant& quadrant, const QuadrantAssignment& assignment,
+      const GlobalRouteConfig& config);
+
+  /// Congestion of a legal configuration (throws InvalidArgument on an
+  /// illegal one).
+  [[nodiscard]] GlobalCongestion evaluate(
+      const Quadrant& quadrant, const QuadrantAssignment& assignment,
+      const GlobalRouteConfig& config) const;
+
+  /// Iterative improvement from fixed_config; the result is always legal
+  /// and never worse than the fixed configuration.
+  [[nodiscard]] GlobalRouteConfig improve(
+      const Quadrant& quadrant, const QuadrantAssignment& assignment) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace fp

@@ -1,0 +1,34 @@
+// Monotonic-routability legality test (Section 3.1 of the paper).
+//
+// Kubo-Takahashi monotonic routing exists for a finger order iff, within
+// every bump row, the nets read left-to-right along the row occupy
+// strictly increasing finger slots. (The via order and the finger order
+// must agree on every horizontal line.)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "package/assignment.h"
+#include "package/quadrant.h"
+
+namespace fp {
+
+/// Description of the first monotonicity violation found, for diagnostics.
+struct LegalityViolation {
+  int row = 0;        // bump row (0 = outermost)
+  int col = 0;        // right bump of the offending adjacent pair
+  NetId left_net = kInvalidNet;
+  NetId right_net = kInvalidNet;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks the monotonic rule; empty optional means the order is legal.
+[[nodiscard]] std::optional<LegalityViolation> find_violation(
+    const Quadrant& quadrant, const QuadrantAssignment& assignment);
+
+/// True iff a legal monotonic routing exists for `assignment`.
+[[nodiscard]] bool is_monotone_legal(const Quadrant& quadrant,
+                                     const QuadrantAssignment& assignment);
+
+}  // namespace fp

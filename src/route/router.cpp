@@ -1,0 +1,183 @@
+#include "route/router.h"
+
+#include <algorithm>
+
+namespace fp {
+namespace {
+
+/// Horizontal extent [lo, hi] of a gap on `row` (end gaps extend half a
+/// pitch beyond the outer slots).
+std::pair<double, double> gap_bounds(const Quadrant& q, int row, int gap) {
+  const int slots = q.via_slots_in_row(row);
+  const double pitch = q.geometry().bump_space_um;
+  const double lo = gap == 0
+                        ? q.via_slot_position(row, 0).x - pitch
+                        : q.via_slot_position(row, gap - 1).x;
+  const double hi = gap >= slots
+                        ? q.via_slot_position(row, slots - 1).x + pitch
+                        : q.via_slot_position(row, gap).x;
+  return {lo, hi};
+}
+
+/// Track position of the `index`-th of `count` wires sharing a gap: wires
+/// spread evenly across the gap in finger order, keeping layer-1 paths
+/// crossing-free and giving the Fig.-15 plots their fan-out look.
+double track_x(const Quadrant& q, int row, int gap, int index, int count) {
+  const auto [lo, hi] = gap_bounds(q, row, gap);
+  return lo + (hi - lo) * (static_cast<double>(index) + 1.0) /
+                  (static_cast<double>(count) + 1.0);
+}
+
+double polyline_length(const std::vector<Point>& path) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    total += euclidean(path[i - 1], path[i]);
+  }
+  return total;
+}
+
+}  // namespace
+
+QuadrantRoute MonotonicRouter::route(
+    const Quadrant& quadrant, const QuadrantAssignment& assignment) const {
+  return route(quadrant, assignment, QuadrantViaPlan::bottom_left(quadrant));
+}
+
+QuadrantRoute MonotonicRouter::route(const Quadrant& quadrant,
+                                     const QuadrantAssignment& assignment,
+                                     const QuadrantViaPlan& plan) const {
+  const DensityMap density(quadrant, assignment, plan, strategy_);
+
+  // Track assignment: per row, wires sharing a gap take evenly spread
+  // positions in finger order, so the emitted layer-1 polylines never
+  // cross. crossing_x[row][finger] is the wire's x when crossing `row`.
+  const int rows = quadrant.row_count();
+  std::vector<std::vector<double>> crossing_x(
+      static_cast<std::size_t>(rows),
+      std::vector<double>(static_cast<std::size_t>(assignment.size()), 0.0));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<int> cursor(
+        static_cast<std::size_t>(quadrant.gaps_in_row(r)), 0);
+    for (int a = 0; a < assignment.size(); ++a) {
+      const NetId net = assignment.order[static_cast<std::size_t>(a)];
+      if (quadrant.net_row(net) >= r) continue;
+      const int gap = density.crossing_gap(net, r);
+      ensure(gap >= 0, "MonotonicRouter: missing crossing gap");
+      const int index = cursor[static_cast<std::size_t>(gap)]++;
+      crossing_x[static_cast<std::size_t>(r)][static_cast<std::size_t>(a)] =
+          track_x(quadrant, r, gap, index, density.gap_density(r, gap));
+    }
+  }
+
+  QuadrantRoute result;
+  result.nets.reserve(static_cast<std::size_t>(assignment.size()));
+
+  for (int a = 0; a < assignment.size(); ++a) {
+    const NetId net = assignment.order[static_cast<std::size_t>(a)];
+    const int bump_row = quadrant.net_row(net);
+    const int bump_col = quadrant.net_col(net);
+    const Point finger = quadrant.finger_position(a);
+    const Point via = quadrant.via_slot_position(
+        bump_row, plan.rows[static_cast<std::size_t>(bump_row)]
+                      .slot_of_bump[static_cast<std::size_t>(bump_col)]);
+    const Point bump = quadrant.bump_position(bump_row, bump_col);
+
+    RoutedNet routed;
+    routed.net = net;
+    routed.finger = a;
+    routed.path.push_back(finger);
+    // Crossing points sit at the via-slot level of each line (half a pitch
+    // below the bump centres) -- that is where the gaps are physically
+    // delimited. Every such level is ordered by finger order (crossers by
+    // track, terminators at their slots), so consecutive-level segments
+    // can never cross and the terminating via is simply the last level.
+    for (int r = quadrant.top_row(); r > bump_row; --r) {
+      routed.path.push_back(Point{
+          crossing_x[static_cast<std::size_t>(r)][static_cast<std::size_t>(a)],
+          quadrant.via_slot_position(r, 0).y});
+    }
+    routed.path.push_back(via);
+    routed.path.push_back(bump);
+
+    routed.flyline_length_um = euclidean(finger, via) + euclidean(via, bump);
+    routed.routed_length_um = polyline_length(routed.path);
+
+    result.total_flyline_um += routed.flyline_length_um;
+    result.total_routed_um += routed.routed_length_um;
+    result.nets.push_back(std::move(routed));
+  }
+
+  result.max_density = density.max_density();
+  result.gap_densities.reserve(static_cast<std::size_t>(density.row_count()));
+  for (int r = 0; r < density.row_count(); ++r) {
+    result.gap_densities.push_back(density.row_densities(r));
+  }
+  return result;
+}
+
+PackageRoute MonotonicRouter::route(const Package& package,
+                                    const PackageAssignment& assignment) const {
+  return route(package, assignment, PackageViaPlan::bottom_left(package));
+}
+
+PackageRoute MonotonicRouter::route(const Package& package,
+                                    const PackageAssignment& assignment,
+                                    const PackageViaPlan& plan) const {
+  require(static_cast<int>(assignment.quadrants.size()) ==
+              package.quadrant_count(),
+          "MonotonicRouter: assignment/package quadrant count mismatch");
+  require(plan.quadrants.size() == assignment.quadrants.size(),
+          "MonotonicRouter: via plan/package quadrant count mismatch");
+  PackageRoute result;
+  result.quadrants.reserve(assignment.quadrants.size());
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    QuadrantRoute qr =
+        route(package.quadrant(qi),
+              assignment.quadrants[static_cast<std::size_t>(qi)],
+              plan.quadrants[static_cast<std::size_t>(qi)]);
+    result.max_density = std::max(result.max_density, qr.max_density);
+    result.total_flyline_um += qr.total_flyline_um;
+    result.total_routed_um += qr.total_routed_um;
+    result.quadrants.push_back(std::move(qr));
+  }
+  return result;
+}
+
+int max_density(const Package& package, const PackageAssignment& assignment,
+                CrossingStrategy strategy) {
+  require(static_cast<int>(assignment.quadrants.size()) ==
+              package.quadrant_count(),
+          "max_density: assignment/package quadrant count mismatch");
+  int best = 0;
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    const DensityMap density(
+        package.quadrant(qi),
+        assignment.quadrants[static_cast<std::size_t>(qi)], strategy);
+    best = std::max(best, density.max_density());
+  }
+  return best;
+}
+
+double total_flyline_um(const Package& package,
+                        const PackageAssignment& assignment) {
+  require(static_cast<int>(assignment.quadrants.size()) ==
+              package.quadrant_count(),
+          "total_flyline_um: assignment/package quadrant count mismatch");
+  double total = 0.0;
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    const Quadrant& quadrant = package.quadrant(qi);
+    const QuadrantAssignment& qa =
+        assignment.quadrants[static_cast<std::size_t>(qi)];
+    for (int a = 0; a < qa.size(); ++a) {
+      const NetId net = qa.order[static_cast<std::size_t>(a)];
+      const int row = quadrant.net_row(net);
+      const int col = quadrant.net_col(net);
+      const Point via = quadrant.via_position(row, col);
+      total += euclidean(quadrant.finger_position(a), via) +
+               euclidean(via, quadrant.bump_position(row, col));
+    }
+  }
+  return total;
+}
+
+}  // namespace fp

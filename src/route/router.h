@@ -1,0 +1,88 @@
+// Monotonic two-layer BGA global routing (adopted from Kubo-Takahashi [10]
+// as the paper does): every net descends from its finger, crosses each
+// horizontal line exactly once, drops through its via (the bump's
+// bottom-left corner) and reaches its bump on layer 2.
+//
+// The router materialises the crossing assignment chosen by DensityMap into
+// per-net polylines and length metrics:
+//   * flyline length -- |finger -> via| + |via -> bump|, the metric the
+//     paper reports in Table 2;
+//   * routed length  -- length of the staircase polyline actually drawn.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "package/assignment.h"
+#include "package/package.h"
+#include "package/quadrant.h"
+#include "route/density.h"
+
+namespace fp {
+
+struct RoutedNet {
+  NetId net = kInvalidNet;
+  int finger = -1;
+  /// Polyline from the finger position through each line crossing to the
+  /// via, ending at the bump centre (the final segment lives on layer 2).
+  std::vector<Point> path;
+  double flyline_length_um = 0.0;
+  double routed_length_um = 0.0;
+};
+
+struct QuadrantRoute {
+  std::vector<RoutedNet> nets;  // in finger order
+  std::vector<std::vector<int>> gap_densities;  // copy of the density map
+  int max_density = 0;
+  double total_flyline_um = 0.0;
+  double total_routed_um = 0.0;
+};
+
+struct PackageRoute {
+  std::vector<QuadrantRoute> quadrants;
+  int max_density = 0;
+  double total_flyline_um = 0.0;
+  double total_routed_um = 0.0;
+};
+
+class MonotonicRouter {
+ public:
+  explicit MonotonicRouter(
+      CrossingStrategy strategy = CrossingStrategy::Balanced)
+      : strategy_(strategy) {}
+
+  /// Routes one quadrant under the default bottom-left via plan; requires
+  /// a monotonically legal assignment.
+  [[nodiscard]] QuadrantRoute route(const Quadrant& quadrant,
+                                    const QuadrantAssignment& assignment) const;
+
+  /// Routes one quadrant under an explicit via plan (see via_plan.h).
+  [[nodiscard]] QuadrantRoute route(const Quadrant& quadrant,
+                                    const QuadrantAssignment& assignment,
+                                    const QuadrantViaPlan& plan) const;
+
+  /// Routes every quadrant of the package and aggregates the metrics.
+  [[nodiscard]] PackageRoute route(const Package& package,
+                                   const PackageAssignment& assignment) const;
+
+  /// Same under an explicit package-level via plan.
+  [[nodiscard]] PackageRoute route(const Package& package,
+                                   const PackageAssignment& assignment,
+                                   const PackageViaPlan& plan) const;
+
+ private:
+  CrossingStrategy strategy_;
+};
+
+/// Convenience: the paper's "maximum density" of an assignment (hottest gap
+/// over all lines of all quadrants) without building route polylines.
+[[nodiscard]] int max_density(const Package& package,
+                              const PackageAssignment& assignment,
+                              CrossingStrategy strategy =
+                                  CrossingStrategy::Balanced);
+
+/// Convenience: total flyline wirelength of an assignment (Table 2 metric).
+[[nodiscard]] double total_flyline_um(const Package& package,
+                                      const PackageAssignment& assignment);
+
+}  // namespace fp

@@ -1,0 +1,72 @@
+// Via planning on the bump rows (the [10] substrate the paper adopts).
+//
+// The candidate via locations sit "around the bump ball" with at most one
+// via between four adjacent bump balls: on a row of m bumps that is the
+// m+1 corner slots, where slot j is the bottom-left corner of bump j and
+// slot m the bottom-right corner of the last bump. A net terminating on
+// bump j may drop through slot j or slot j+1; via slots on a row must be
+// strictly increasing in bump order (two nets cannot share a corner and
+// the monotone rule forbids crossing). Because each bump has only its two
+// corners, the legal plans of a row are exactly the "suffix shifts": bumps
+// 0..p-1 use their left corner and bumps p..m-1 their right corner.
+//
+// The paper fixes every via at the bottom-left corner ("without loss of
+// generality"); ViaPlanner implements the general choice and improves it
+// row by row, which is the iterative-improvement lever of [10] that the
+// fixed plan forgoes. DensityMap/MonotonicRouter accept any legal plan.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "package/assignment.h"
+#include "package/package.h"
+#include "package/quadrant.h"
+
+namespace fp {
+
+/// slot_of_bump[c] = via slot used by the net on bump c of the row.
+struct RowViaPlan {
+  std::vector<int> slot_of_bump;
+};
+
+struct QuadrantViaPlan {
+  std::vector<RowViaPlan> rows;
+
+  /// The paper's default: every net uses its bump's bottom-left corner.
+  [[nodiscard]] static QuadrantViaPlan bottom_left(const Quadrant& quadrant);
+
+  /// The suffix-shift plan for one row: bumps < pivot keep their left
+  /// corner, bumps >= pivot take the right one. pivot == m is bottom_left.
+  [[nodiscard]] static RowViaPlan suffix_shift(int bumps, int pivot);
+};
+
+/// Checks a plan against the quadrant: one entry per bump, slot within the
+/// bump's two corners, strictly increasing along every row. Returns a
+/// diagnostic for the first problem, or nullopt when legal.
+[[nodiscard]] std::optional<std::string> validate_via_plan(
+    const Quadrant& quadrant, const QuadrantViaPlan& plan);
+
+/// Per-row exhaustive suffix-shift optimisation: picks, independently for
+/// every row, the pivot whose crossing-gap loads have the smallest maximum
+/// (ties: smaller total shift, keeping vias near their bumps). Rows are
+/// independent because a row's gap structure depends only on its own via
+/// slots. Requires a monotonically legal assignment.
+class ViaPlanner {
+ public:
+  [[nodiscard]] QuadrantViaPlan plan(const Quadrant& quadrant,
+                                     const QuadrantAssignment& assignment) const;
+};
+
+struct PackageViaPlan {
+  std::vector<QuadrantViaPlan> quadrants;
+
+  [[nodiscard]] static PackageViaPlan bottom_left(const Package& package);
+};
+
+/// Runs ViaPlanner on every quadrant.
+[[nodiscard]] PackageViaPlan plan_vias(const Package& package,
+                                       const PackageAssignment& assignment);
+
+}  // namespace fp

@@ -1,0 +1,101 @@
+#include "stack/stacking.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace fp {
+
+int omega_zero_bits(const std::vector<NetId>& ring_order,
+                    const Netlist& netlist, int tier_count) {
+  require(tier_count >= 1, "omega_zero_bits: tier_count must be >= 1");
+  require(tier_count <= 32, "omega_zero_bits: tier_count too large");
+  require(!ring_order.empty(), "omega_zero_bits: empty ring");
+  const std::uint32_t full_mask =
+      tier_count == 32 ? ~0u : ((1u << tier_count) - 1u);
+  int omega = 0;
+  const std::size_t psi = static_cast<std::size_t>(tier_count);
+  for (std::size_t start = 0; start < ring_order.size(); start += psi) {
+    std::uint32_t group_union = 0;
+    const std::size_t end = std::min(start + psi, ring_order.size());
+    for (std::size_t i = start; i < end; ++i) {
+      const int tier = netlist.net(ring_order[i]).tier;
+      require(tier >= 0 && tier < tier_count,
+              "omega_zero_bits: net tier outside [0, tier_count)");
+      group_union |= 1u << tier;
+    }
+    omega += std::popcount(full_mask & ~group_union);
+  }
+  return omega;
+}
+
+BondingWireReport analyze_bonding(const Package& package,
+                                  const PackageAssignment& assignment,
+                                  const StackingSpec& spec) {
+  require(static_cast<int>(assignment.quadrants.size()) ==
+              package.quadrant_count(),
+          "analyze_bonding: assignment/package quadrant count mismatch");
+  const Netlist& netlist = package.netlist();
+  const int tiers = netlist.tier_count();
+
+  BondingWireReport report;
+  report.omega = omega_zero_bits(assignment.ring_order(), netlist, tiers);
+
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    const Quadrant& quadrant = package.quadrant(qi);
+    const QuadrantAssignment& qa =
+        assignment.quadrants[static_cast<std::size_t>(qi)];
+    require(qa.size() == quadrant.finger_count(),
+            "analyze_bonding: assignment size mismatch");
+
+    const double finger_pitch = quadrant.geometry().finger_pitch_um();
+    const double edge_span =
+        static_cast<double>(quadrant.finger_count()) * finger_pitch;
+
+    // Pads of each tier spread evenly over that tier's edge span, in finger
+    // order.
+    std::vector<int> tier_members(static_cast<std::size_t>(tiers), 0);
+    for (const NetId net : qa.order) {
+      ++tier_members[static_cast<std::size_t>(netlist.net(net).tier)];
+    }
+    std::vector<int> tier_cursor(static_cast<std::size_t>(tiers), 0);
+    std::vector<double> pad_positions;  // in finger order, for crossings
+    pad_positions.reserve(static_cast<std::size_t>(qa.size()));
+    for (int a = 0; a < qa.size(); ++a) {
+      const NetId net = qa.order[static_cast<std::size_t>(a)];
+      const int d = netlist.net(net).tier;
+      const double pad_span = std::max(
+          finger_pitch, edge_span - 2.0 * static_cast<double>(d) *
+                                        spec.tier_inset_um);
+      const int members = tier_members[static_cast<std::size_t>(d)];
+      const int j = tier_cursor[static_cast<std::size_t>(d)]++;
+      // Centre both rows on the edge axis.
+      const double finger_x =
+          (static_cast<double>(a) + 0.5) * finger_pitch - 0.5 * edge_span;
+      const double pad_x = (static_cast<double>(j) + 0.5) /
+                               static_cast<double>(members) * pad_span -
+                           0.5 * pad_span;
+      const double dx = finger_x - pad_x;
+      const double dy =
+          spec.die_gap_um + static_cast<double>(d) * spec.tier_inset_um;
+      const double dz = static_cast<double>(d) * spec.tier_height_um;
+      const double length = std::sqrt(dx * dx + dy * dy + dz * dz);
+      report.total_um += length;
+      report.max_um = std::max(report.max_um, length);
+      pad_positions.push_back(pad_x);
+    }
+    // Plan-view crossings: fingers are ordered by construction, so every
+    // inverted pad-position pair is one crossing.
+    for (std::size_t i = 0; i < pad_positions.size(); ++i) {
+      for (std::size_t j = i + 1; j < pad_positions.size(); ++j) {
+        if (pad_positions[i] > pad_positions[j]) ++report.crossings;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fp

@@ -1,0 +1,62 @@
+// Stacking-IC (multi-tier) model: the journal extension of the DATE'09
+// paper (Section 2.2 / 3.2).
+//
+// In a stacking IC the die pads live on psi stacked tiers; every finger
+// still bonds to exactly one pad. Two quantities matter:
+//
+//   * omega -- the paper's discrete interleaving metric. Fingers are taken
+//     in ring order and grouped into ceil(alpha/psi) consecutive groups of
+//     (at most) psi; each tier d has a one-hot psi-bit parameter UP_d; a
+//     group's parameters are OR-ed and omega accumulates the zero bits.
+//     omega = 0 iff every group touches every tier (perfect interleaving),
+//     which is the Fig. 4(B) optimum.
+//
+//   * physical bonding-wire length -- tier d's pad row is inset and raised
+//     relative to the fingers; pads of one tier spread evenly along their
+//     die edge in finger order. Interleaved fingers keep each tier's pads
+//     aligned under their fingers (short wires); blocked fingers compress a
+//     tier's pads into a fraction of the edge (long, crossing wires). This
+//     is the Fig. 4(A)-vs-(B) contrast made quantitative.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "package/assignment.h"
+#include "package/package.h"
+
+namespace fp {
+
+struct StackingSpec {
+  /// Horizontal inset of each successive tier's pad row (um).
+  double tier_inset_um = 1.0;
+  /// Vertical rise of each successive tier (um).
+  double tier_height_um = 0.5;
+  /// Horizontal clearance between the finger row and the tier-0 pad row.
+  double die_gap_um = 1.0;
+};
+
+/// The paper's omega: total zero bits over the group-unions of the tier
+/// parameters. `tier_count` is psi >= 1; with psi == 1 omega is always 0.
+[[nodiscard]] int omega_zero_bits(const std::vector<NetId>& ring_order,
+                                  const Netlist& netlist, int tier_count);
+
+struct BondingWireReport {
+  double total_um = 0.0;
+  double max_um = 0.0;
+  int omega = 0;
+  /// Plan-view crossings between bonding wires of the same quadrant edge
+  /// (pairs whose finger order and pad order disagree). Wire-bond assembly
+  /// rules dislike these; interleaved tiers drive the count toward 0.
+  int crossings = 0;
+};
+
+/// Bonding-wire lengths of a full package assignment. Each quadrant is one
+/// die edge: its fingers span the edge; the pads of tier d belonging to
+/// that quadrant spread evenly along the tier's (inset) edge in finger
+/// order.
+[[nodiscard]] BondingWireReport analyze_bonding(
+    const Package& package, const PackageAssignment& assignment,
+    const StackingSpec& spec = {});
+
+}  // namespace fp

@@ -1,0 +1,51 @@
+// Tiny command line flag parser used by the bench and example binaries.
+//
+// Supported syntax: --name value, --name=value, and boolean --name.
+// Unknown flags raise InvalidArgument so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fp {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Declares a flag so it is accepted; call before the getters.
+  void declare(std::string_view name, std::string_view help);
+
+  /// True if --name appeared (with or without a value).
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Validates that every seen flag was declared; throws on unknown flags.
+  void check_unknown() const;
+
+  /// One help line per declared flag.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  std::map<std::string, std::optional<std::string>, std::less<>> seen_;
+  std::map<std::string, std::string, std::less<>> declared_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fp

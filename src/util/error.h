@@ -1,0 +1,49 @@
+// Error handling primitives shared by all fpkit modules.
+//
+// fpkit reports contract violations by throwing exceptions derived from
+// fp::Error. `require` guards user-facing preconditions (bad input files,
+// inconsistent circuit descriptions), `ensure` guards internal invariants
+// whose failure indicates a bug in fpkit itself.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fp {
+
+/// Base class of every exception fpkit throws deliberately.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when caller-supplied input violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in fpkit, not the caller).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by I/O helpers on malformed or unreadable files.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `message` unless `condition` holds.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw InvalidArgument(std::string(message));
+}
+
+/// Throws InternalError with `message` unless `condition` holds.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) throw InternalError(std::string(message));
+}
+
+}  // namespace fp

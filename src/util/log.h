@@ -1,0 +1,56 @@
+// Minimal leveled logging to stderr.
+//
+// fpkit libraries are quiet by default (Warn); benches and examples raise the
+// level with --verbose. Logging is intentionally simple: no sinks, no
+// threading guarantees beyond whole-line writes.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fp {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel log_level();
+
+/// Sets the process-wide minimum level.
+void set_log_level(LogLevel level);
+
+/// Emits one line at `level` if it passes the threshold.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() {
+  return detail::LogStream(LogLevel::Debug);
+}
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream log_error() {
+  return detail::LogStream(LogLevel::Error);
+}
+
+}  // namespace fp

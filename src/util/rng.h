@@ -1,0 +1,77 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic parts of fpkit (random baseline assignment, synthetic
+// circuit generation, simulated annealing) draw from fp::Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded through splitmix64, which has good statistical
+// properties and is much faster than std::mt19937_64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fp {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state by running splitmix64 on `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>/<random>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      std::swap(items[i], items[index(i + 1)]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Derives an independent child generator (for per-quadrant streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fp

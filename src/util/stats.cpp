@@ -1,0 +1,47 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fp {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const {
+  require(count_ > 0, "RunningStats: no samples");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  require(count_ > 0, "RunningStats: no samples");
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  require(count_ > 0, "RunningStats: no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  require(count_ > 0, "RunningStats: no samples");
+  return max_;
+}
+
+}  // namespace fp

@@ -1,0 +1,38 @@
+// Small string helpers shared by the I/O and reporting code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fp {
+
+/// Removes ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on `sep`; consecutive separators yield empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; never yields empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins `parts` with `sep` between elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a decimal integer; throws fp::IoError on malformed input.
+[[nodiscard]] long long parse_int(std::string_view s);
+
+/// Parses a floating point number; throws fp::IoError on malformed input.
+[[nodiscard]] double parse_double(std::string_view s);
+
+/// Formats `value` with `digits` digits after the decimal point.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// "12.3%", one decimal, from a ratio in [0, 1+].
+[[nodiscard]] std::string format_percent(double ratio);
+
+}  // namespace fp

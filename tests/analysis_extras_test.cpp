@@ -1,0 +1,148 @@
+// Tests of the analysis extras: congestion-map rendering, pad
+// criticality ranking, multi-start exchange, and anisotropic sheet
+// resistance behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "assign/dfa.h"
+#include "exchange/exchange.h"
+#include "package/circuit_generator.h"
+#include "power/ir_analysis.h"
+#include "route/density.h"
+#include "route/legality.h"
+#include "route/render.h"
+
+namespace fp {
+namespace {
+
+// ------------------------------------------------------- congestion map ----
+
+TEST(CongestionMap, RendersEveryGap) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  QuadrantAssignment a;
+  a.order = {10, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0};
+  const DensityMap density(q, a);
+  const std::string svg = render_congestion_map(q, density, "fig5 random");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("fig5 random"), std::string::npos);
+  EXPECT_NE(svg.find("(max 4"), std::string::npos);
+  // One cell rectangle per gap: rows have 7, 6, 5 gaps = 18 + background.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 18u + 1u);  // + the canvas background
+}
+
+TEST(CongestionMap, CapacityColoursRelativeToLimit) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  QuadrantAssignment a;
+  a.order = {10, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0};
+  const DensityMap density(q, a);
+  const std::string svg =
+      render_congestion_map(q, density, "with capacity", 4);
+  EXPECT_NE(svg.find("capacity 4"), std::string::npos);
+  // The gap at load 4 == capacity must be rendered fully hot (red).
+  EXPECT_NE(svg.find("#ff0000"), std::string::npos);
+}
+
+TEST(CongestionMap, SaveWritesFile) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantAssignment a = DfaAssigner().assign(q);
+  const DensityMap density(q, a);
+  const std::string path = ::testing::TempDir() + "/congestion.svg";
+  save_congestion_map_svg(q, density, "t", path);
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+}
+
+// ------------------------------------------------------ pad criticality ----
+
+PowerGrid grid_with_pads(std::vector<IPoint> pads) {
+  PowerGridSpec spec;
+  spec.nodes_per_side = 16;
+  spec.total_current_a = 4.0;
+  PowerGrid grid(spec);
+  grid.set_pads(pads);
+  return grid;
+}
+
+TEST(PadCriticality, LoneCornerPadIsMostCritical) {
+  // Three pads clustered bottom-left plus one at the far corner: removing
+  // the far one must hurt the most.
+  PowerGrid grid =
+      grid_with_pads({{0, 0}, {1, 0}, {0, 1}, {15, 15}});
+  const std::vector<PadCriticality> ranking = pad_criticality(grid);
+  ASSERT_EQ(ranking.size(), 4u);
+  EXPECT_EQ(ranking.front().node, (IPoint{15, 15}));
+  EXPECT_GT(ranking.front().drop_increase_v, 0.0);
+  // Redundant cluster members barely matter.
+  EXPECT_LT(ranking.back().drop_increase_v,
+            ranking.front().drop_increase_v / 4.0);
+  // Sorted descending.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].drop_increase_v, ranking[i].drop_increase_v);
+  }
+}
+
+TEST(PadCriticality, RestoresThePadSet) {
+  PowerGrid grid = grid_with_pads({{0, 0}, {15, 15}});
+  (void)pad_criticality(grid);
+  EXPECT_EQ(grid.pads().size(), 2u);
+  EXPECT_TRUE(grid.is_pad(0, 0));
+  EXPECT_TRUE(grid.is_pad(15, 15));
+}
+
+TEST(PadCriticality, SinglePadRejected) {
+  PowerGrid grid = grid_with_pads({{0, 0}});
+  EXPECT_THROW((void)pad_criticality(grid), InvalidArgument);
+}
+
+// ----------------------------------------------------------- multistart ----
+
+TEST(Multistart, NeverWorseThanSingleStart) {
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(0));
+  const PackageAssignment initial = DfaAssigner().assign(package);
+  ExchangeOptions options;
+  options.grid_spec.nodes_per_side = 12;
+  options.schedule.initial_temperature = 2.0;
+  options.schedule.final_temperature = 0.01;
+  options.schedule.cooling = 0.85;
+  options.schedule.moves_per_temperature = 16;
+  const ExchangeOptimizer optimizer(package, options);
+  const ExchangeResult single = optimizer.optimize(initial);
+  const ExchangeResult multi = optimizer.optimize_multistart(initial, 4);
+  EXPECT_LE(multi.anneal.final_cost, single.anneal.final_cost + 1e-12);
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    EXPECT_TRUE(is_monotone_legal(
+        package.quadrant(qi),
+        multi.assignment.quadrants[static_cast<std::size_t>(qi)]));
+  }
+  EXPECT_THROW((void)optimizer.optimize_multistart(initial, 0),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------ anisotropy ----
+
+TEST(Anisotropy, DropSpreadsAlongTheLowResistanceAxis) {
+  // Rsx << Rsy: current flows easily in x, so a pad on the left edge
+  // serves nodes far in x better than nodes far in y.
+  PowerGridSpec spec;
+  spec.nodes_per_side = 16;
+  spec.sheet_res_x = 0.01;
+  spec.sheet_res_y = 0.25;
+  spec.total_current_a = 4.0;
+  PowerGrid grid(spec);
+  grid.set_pads({{0, 0}});
+  const SolveResult result = solve(grid);
+  ASSERT_TRUE(result.converged);
+  // Equidistant nodes: far in x vs far in y.
+  EXPECT_GT(result.voltage(12, 0), result.voltage(0, 12));
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,142 @@
+// Ground-truth validation on tiny quadrants: exhaustively enumerate every
+// monotonically legal finger order, score it with DensityMap, and check
+// that (a) the legality checker accepts exactly the interleavings,
+// (b) DFA and IFA always land inside the legal set, and (c) DFA is at or
+// near the true optimum that brute force finds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "assign/dfa.h"
+#include "assign/ifa.h"
+#include "assign/random_assigner.h"
+#include "package/circuit_generator.h"
+#include "route/density.h"
+#include "route/legality.h"
+
+namespace fp {
+namespace {
+
+/// All legal orders = all interleavings preserving each row's sequence.
+std::vector<std::vector<NetId>> enumerate_legal_orders(const Quadrant& q) {
+  std::vector<std::vector<NetId>> result;
+  std::vector<int> cursor(static_cast<std::size_t>(q.row_count()), 0);
+  std::vector<NetId> current;
+  const std::function<void()> recurse = [&]() {
+    if (static_cast<int>(current.size()) == q.net_count()) {
+      result.push_back(current);
+      return;
+    }
+    for (int r = 0; r < q.row_count(); ++r) {
+      auto& c = cursor[static_cast<std::size_t>(r)];
+      if (c >= q.bumps_in_row(r)) continue;
+      current.push_back(q.bump_net(r, c));
+      ++c;
+      recurse();
+      --c;
+      current.pop_back();
+    }
+  };
+  recurse();
+  return result;
+}
+
+long long factorial(int n) {
+  long long f = 1;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+Quadrant tiny(std::vector<std::vector<NetId>> rows) {
+  return Quadrant("tiny", PackageGeometry{}, std::move(rows));
+}
+
+TEST(BruteForce, EnumerationCountsMatchMultinomials) {
+  // #interleavings of rows of sizes a, b, c = (a+b+c)! / (a! b! c!).
+  const Quadrant q = tiny({{0, 1, 2}, {3, 4}});
+  EXPECT_EQ(enumerate_legal_orders(q).size(),
+            static_cast<std::size_t>(factorial(5) /
+                                     (factorial(3) * factorial(2))));
+  const Quadrant q3 = tiny({{0, 1, 2}, {3, 4}, {5}});
+  EXPECT_EQ(enumerate_legal_orders(q3).size(),
+            static_cast<std::size_t>(factorial(6) /
+                                     (factorial(3) * factorial(2))));
+}
+
+TEST(BruteForce, LegalityCheckerAcceptsExactlyTheInterleavings) {
+  const Quadrant q = tiny({{0, 1, 2}, {3, 4}});
+  const auto legal = enumerate_legal_orders(q);
+  // Every enumerated order passes the checker.
+  for (const auto& order : legal) {
+    QuadrantAssignment a;
+    a.order = order;
+    EXPECT_TRUE(is_monotone_legal(q, a));
+  }
+  // And the checker accepts nothing else: count all permutations.
+  std::vector<NetId> perm{0, 1, 2, 3, 4};
+  std::sort(perm.begin(), perm.end());
+  std::size_t accepted = 0;
+  do {
+    QuadrantAssignment a;
+    a.order = perm;
+    if (is_monotone_legal(q, a)) ++accepted;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(accepted, legal.size());
+}
+
+struct TinyCase {
+  const char* label;
+  std::vector<std::vector<NetId>> rows;
+};
+
+class BruteForceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BruteForceSweep, DfaWithinOneOfOptimum) {
+  static const TinyCase kCases[] = {
+      {"3+2", {{0, 1, 2}, {3, 4}}},
+      {"4+2", {{0, 1, 2, 3}, {4, 5}}},
+      {"4+3", {{0, 1, 2, 3}, {4, 5, 6}}},
+      {"3+2+1", {{0, 1, 2}, {3, 4}, {5}}},
+      {"4+3+2", {{0, 1, 2, 3}, {4, 5, 6}, {7, 8}}},
+      {"5+3+1", {{0, 1, 2, 3, 4}, {5, 6, 7}, {8}}},
+  };
+  const TinyCase& test_case = kCases[GetParam()];
+  const Quadrant q = tiny(test_case.rows);
+
+  int optimum = std::numeric_limits<int>::max();
+  for (const auto& order : enumerate_legal_orders(q)) {
+    QuadrantAssignment a;
+    a.order = order;
+    optimum = std::min(optimum, DensityMap(q, a).max_density());
+  }
+
+  const int dfa = DensityMap(q, DfaAssigner().assign(q)).max_density();
+  const int ifa = DensityMap(q, IfaAssigner().assign(q)).max_density();
+  EXPECT_GE(dfa, optimum) << test_case.label;  // optimum really is a bound
+  EXPECT_GE(ifa, optimum) << test_case.label;
+  EXPECT_LE(dfa, optimum + 1) << test_case.label
+                              << ": DFA should be near-optimal";
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyQuadrants, BruteForceSweep,
+                         ::testing::Range(0, 6));
+
+TEST(BruteForce, RandomBaselineNeverBeatsOptimum) {
+  const Quadrant q = tiny({{0, 1, 2, 3}, {4, 5, 6}, {7, 8}});
+  int optimum = std::numeric_limits<int>::max();
+  for (const auto& order : enumerate_legal_orders(q)) {
+    QuadrantAssignment a;
+    a.order = order;
+    optimum = std::min(optimum, DensityMap(q, a).max_density());
+  }
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const QuadrantAssignment a = RandomAssigner(seed).assign(q);
+    EXPECT_GE(DensityMap(q, a).max_density(), optimum);
+  }
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,199 @@
+// Tests for the synthetic circuit generator: the published Table-1
+// parameters, row partitioning, determinism, and the figure fixtures.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "package/circuit_generator.h"
+
+namespace fp {
+namespace {
+
+TEST(Table1, PublishedFingerCounts) {
+  const int expected[5] = {96, 160, 208, 352, 448};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(CircuitGenerator::table1(i).finger_count, expected[i]);
+  }
+}
+
+TEST(Table1, PublishedGeometry) {
+  const CircuitSpec c1 = CircuitGenerator::table1(0);
+  EXPECT_DOUBLE_EQ(c1.bump_space_um, 2.0);
+  EXPECT_DOUBLE_EQ(c1.finger_width_um, 0.025);
+  EXPECT_DOUBLE_EQ(c1.finger_height_um, 0.4);
+  EXPECT_DOUBLE_EQ(c1.finger_space_um, 0.025);
+
+  const CircuitSpec c2 = CircuitGenerator::table1(1);
+  EXPECT_DOUBLE_EQ(c2.bump_space_um, 1.4);
+  EXPECT_DOUBLE_EQ(c2.finger_width_um, 0.006);
+  EXPECT_DOUBLE_EQ(c2.finger_space_um, 0.1);
+
+  const CircuitSpec c5 = CircuitGenerator::table1(4);
+  EXPECT_DOUBLE_EQ(c5.bump_space_um, 1.2);
+  EXPECT_DOUBLE_EQ(c5.finger_width_um, 0.1);
+  EXPECT_DOUBLE_EQ(c5.finger_space_um, 0.12);
+}
+
+TEST(Table1, FourRowsPerQuadrant) {
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(CircuitGenerator::table1(i).rows_per_quadrant, 4);
+  }
+}
+
+TEST(Table1, IndexOutOfRangeThrows) {
+  EXPECT_THROW((void)CircuitGenerator::table1(5), InvalidArgument);
+  EXPECT_THROW((void)CircuitGenerator::table1(-1), InvalidArgument);
+}
+
+TEST(RowSizes, ExactArithmeticSplits) {
+  // 24 nets over 4 rows: 9,7,5,3 (shrinking toward the die).
+  const std::vector<int> expected{9, 7, 5, 3};
+  EXPECT_EQ(CircuitGenerator::row_sizes(24, 4), expected);
+}
+
+TEST(RowSizes, AllTable1QuadrantSizes) {
+  for (const int per_quadrant : {24, 40, 52, 88, 112}) {
+    const auto sizes = CircuitGenerator::row_sizes(per_quadrant, 4);
+    ASSERT_EQ(sizes.size(), 4u);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), per_quadrant);
+    for (std::size_t i = 1; i < sizes.size(); ++i) {
+      EXPECT_GT(sizes[i - 1], sizes[i]);  // strictly shrinking
+    }
+  }
+}
+
+class RowSizesSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RowSizesSweep, PartitionIsValid) {
+  const auto [nets, rows] = GetParam();
+  if (nets < rows) {
+    EXPECT_THROW((void)CircuitGenerator::row_sizes(nets, rows),
+                 InvalidArgument);
+    return;
+  }
+  const auto sizes = CircuitGenerator::row_sizes(nets, rows);
+  ASSERT_EQ(sizes.size(), static_cast<std::size_t>(rows));
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), nets);
+  for (const int size : sizes) EXPECT_GE(size, 1);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i - 1], sizes[i]);  // never grows toward the die
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RowSizesSweep,
+    ::testing::Combine(::testing::Values(4, 5, 7, 11, 16, 24, 40, 52, 88, 112,
+                                         113, 200),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(RowSizes, FewerNetsThanRowsThrows) {
+  EXPECT_THROW((void)CircuitGenerator::row_sizes(3, 4), InvalidArgument);
+}
+
+TEST(Generate, StructureMatchesSpec) {
+  for (int i = 0; i < 5; ++i) {
+    const CircuitSpec spec = CircuitGenerator::table1(i);
+    const Package package = CircuitGenerator::generate(spec);
+    EXPECT_EQ(package.finger_count(), spec.finger_count);
+    EXPECT_EQ(package.quadrant_count(), 4);
+    EXPECT_EQ(static_cast<int>(package.netlist().size()), spec.finger_count);
+    for (const Quadrant& q : package.quadrants()) {
+      EXPECT_EQ(q.row_count(), spec.rows_per_quadrant);
+      EXPECT_EQ(q.net_count(), spec.finger_count / 4);
+      EXPECT_DOUBLE_EQ(q.geometry().bump_space_um, spec.bump_space_um);
+    }
+  }
+}
+
+TEST(Generate, DeterministicInSeed) {
+  const CircuitSpec spec = CircuitGenerator::table1(2);
+  const Package a = CircuitGenerator::generate(spec);
+  const Package b = CircuitGenerator::generate(spec);
+  for (int qi = 0; qi < 4; ++qi) {
+    EXPECT_EQ(a.quadrant(qi).all_nets(), b.quadrant(qi).all_nets());
+  }
+  for (NetId id = 0; id < static_cast<NetId>(a.netlist().size()); ++id) {
+    EXPECT_EQ(a.netlist().net(id).type, b.netlist().net(id).type);
+  }
+}
+
+TEST(Generate, DifferentSeedsDiffer) {
+  CircuitSpec spec = CircuitGenerator::table1(2);
+  const Package a = CircuitGenerator::generate(spec);
+  spec.seed = 999;
+  const Package b = CircuitGenerator::generate(spec);
+  bool any_difference = false;
+  for (int qi = 0; qi < 4 && !any_difference; ++qi) {
+    any_difference = a.quadrant(qi).all_nets() != b.quadrant(qi).all_nets();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generate, SupplyFractionHonoured) {
+  CircuitSpec spec = CircuitGenerator::table1(0);
+  spec.supply_fraction = 0.25;
+  const Package package = CircuitGenerator::generate(spec);
+  const std::size_t supply = package.netlist().supply_nets().size();
+  EXPECT_EQ(supply, 24u);  // 96 * 0.25
+  // Power and ground split evenly.
+  EXPECT_EQ(package.netlist().count(NetType::Power), 12u);
+  EXPECT_EQ(package.netlist().count(NetType::Ground), 12u);
+}
+
+TEST(Generate, ZeroSupplyFraction) {
+  CircuitSpec spec = CircuitGenerator::table1(0);
+  spec.supply_fraction = 0.0;
+  const Package package = CircuitGenerator::generate(spec);
+  EXPECT_TRUE(package.netlist().supply_nets().empty());
+}
+
+TEST(Generate, TiersSplitEvenly) {
+  CircuitSpec spec = CircuitGenerator::table1(1);
+  spec.tier_count = 4;
+  const Package package = CircuitGenerator::generate(spec);
+  EXPECT_EQ(package.netlist().tier_count(), 4);
+  std::vector<int> members(4, 0);
+  for (const Net& net : package.netlist().nets()) {
+    ++members[static_cast<std::size_t>(net.tier)];
+  }
+  for (const int count : members) EXPECT_EQ(count, 40);  // 160 / 4
+}
+
+TEST(Generate, InvalidSpecsThrow) {
+  CircuitSpec spec;
+  spec.finger_count = 0;
+  EXPECT_THROW((void)CircuitGenerator::generate(spec), InvalidArgument);
+  spec = CircuitSpec{};
+  spec.supply_fraction = 1.5;
+  EXPECT_THROW((void)CircuitGenerator::generate(spec), InvalidArgument);
+  spec = CircuitSpec{};
+  spec.tier_count = 0;
+  EXPECT_THROW((void)CircuitGenerator::generate(spec), InvalidArgument);
+}
+
+TEST(Fixtures, Fig5QuadrantMatchesPaper) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  EXPECT_EQ(q.row_count(), 3);
+  // y=1 (outermost): 10,2,4,7,0; y=2: 1,3,5,8; y=3 (highest): 11,6,9.
+  const std::vector<NetId> r0{10, 2, 4, 7, 0};
+  const std::vector<NetId> r1{1, 3, 5, 8};
+  const std::vector<NetId> r2{11, 6, 9};
+  EXPECT_EQ(q.row_nets(0), r0);
+  EXPECT_EQ(q.row_nets(1), r1);
+  EXPECT_EQ(q.row_nets(2), r2);
+  EXPECT_EQ(q.net_count(), 12);
+}
+
+TEST(Fixtures, Fig13QuadrantShape) {
+  const Quadrant q = CircuitGenerator::fig13_quadrant();
+  EXPECT_EQ(q.row_count(), 4);
+  EXPECT_EQ(q.bumps_in_row(0), 8);
+  EXPECT_EQ(q.bumps_in_row(1), 6);
+  EXPECT_EQ(q.bumps_in_row(2), 4);
+  EXPECT_EQ(q.bumps_in_row(3), 2);
+  EXPECT_EQ(q.net_count(), 20);
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,115 @@
+// Tests of the closed-form compact IR model: monotonicity, calibration,
+// and rank agreement with the full Eq.-(1) solver across pad plans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "power/compact_model.h"
+#include "power/pad_ring.h"
+#include "util/rng.h"
+
+namespace fp {
+namespace {
+
+PowerGridSpec spec16() {
+  PowerGridSpec spec;
+  spec.nodes_per_side = 16;
+  spec.total_current_a = 4.0;
+  return spec;
+}
+
+TEST(CompactModel, RequiresPads) {
+  const PowerGrid grid(spec16());
+  const CompactIrModel model(grid);
+  EXPECT_THROW((void)model.estimate_max_drop({}), InvalidArgument);
+}
+
+TEST(CompactModel, MorePadsNeverWorse) {
+  const PowerGrid grid(spec16());
+  const CompactIrModel model(grid);
+  const double one = model.estimate_max_drop({{0, 0}});
+  const double two = model.estimate_max_drop({{0, 0}, {15, 15}});
+  const double four =
+      model.estimate_max_drop({{0, 0}, {15, 15}, {0, 15}, {15, 0}});
+  EXPECT_GT(one, two);
+  EXPECT_GT(two, four);
+  EXPECT_GT(four, 0.0);
+}
+
+TEST(CompactModel, HotspotAware) {
+  PowerGrid uniform(spec16());
+  PowerGrid hot(spec16());
+  hot.add_hotspot({0.6, 0.6, 0.95, 0.95}, 8.0);
+  const CompactIrModel uniform_model(uniform);
+  const CompactIrModel hot_model(hot);
+  // A pad far from the hotspot: the hot die must estimate worse.
+  EXPECT_GT(hot_model.estimate_max_drop({{0, 0}}),
+            uniform_model.estimate_max_drop({{0, 0}}));
+  // Pads near the hotspot help the hot die more than pads far from it.
+  const double near = hot_model.estimate_max_drop({{12, 12}});
+  const double far = hot_model.estimate_max_drop({{0, 0}});
+  EXPECT_LT(near, far);
+}
+
+TEST(CompactModel, CalibrationMatchesSolveAtAnchor) {
+  const PowerGrid grid(spec16());
+  CompactIrModel model(grid);
+  const std::vector<IPoint> pads{{0, 0}, {15, 8}};
+  model.calibrate(pads);
+  PowerGrid solved_grid(spec16());
+  solved_grid.set_pads(pads);
+  const double solved = max_ir_drop(solved_grid, solve(solved_grid));
+  EXPECT_NEAR(model.estimate_max_drop(pads), solved, 1e-9);
+  EXPECT_GT(model.scale(), 0.0);
+}
+
+TEST(CompactModel, RankAgreementWithSolver) {
+  // The exchange loop only needs the estimate to order pad plans like the
+  // solver does: check pairwise rank agreement over random plans.
+  const PowerGridSpec spec = spec16();
+  const PowerGrid grid(spec);
+  CompactIrModel model(grid);
+
+  Rng rng(99);
+  std::vector<std::vector<IPoint>> plans;
+  for (int p = 0; p < 10; ++p) {
+    std::vector<IPoint> pads;
+    for (int i = 0; i < 6; ++i) {
+      pads.push_back(
+          ring_slot_node(static_cast<int>(rng.index(64)), 64, spec.nodes_per_side));
+    }
+    plans.push_back(std::move(pads));
+  }
+  model.calibrate(plans.front());
+
+  std::vector<double> estimated;
+  std::vector<double> solved;
+  for (const auto& pads : plans) {
+    estimated.push_back(model.estimate_max_drop(pads));
+    PowerGrid g(spec);
+    g.set_pads(pads);
+    solved.push_back(max_ir_drop(g, solve(g)));
+  }
+  int agree = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    for (std::size_t j = i + 1; j < plans.size(); ++j) {
+      ++total;
+      if ((estimated[i] < estimated[j]) == (solved[i] < solved[j])) ++agree;
+    }
+  }
+  EXPECT_GE(static_cast<double>(agree) / total, 0.7)
+      << agree << "/" << total << " pairs agree";
+}
+
+TEST(CompactModel, ZeroLoadCannotCalibrate) {
+  PowerGridSpec spec = spec16();
+  spec.total_current_a = 0.0;
+  const PowerGrid grid(spec);
+  CompactIrModel model(grid);
+  EXPECT_THROW(model.calibrate({{0, 0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,80 @@
+// Tests of the cut-line congestion analysis and the DFA n parameter's
+// effect on it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assign/dfa.h"
+#include "assign/random_assigner.h"
+#include "package/circuit_generator.h"
+#include "route/cutline.h"
+
+namespace fp {
+namespace {
+
+TEST(CutLine, ReportsOneEntryPerBoundary) {
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(0));
+  const PackageAssignment assignment = DfaAssigner().assign(package);
+  const CutLineReport report = analyze_cut_lines(package, assignment);
+  ASSERT_EQ(report.boundary_max.size(), 4u);
+  for (const int value : report.boundary_max) {
+    EXPECT_GE(value, 0);
+    EXPECT_LE(value, report.max_density);
+  }
+  EXPECT_EQ(report.max_density,
+            *std::max_element(report.boundary_max.begin(),
+                              report.boundary_max.end()));
+}
+
+TEST(CutLine, SumsNeighbouringBoundaryGaps) {
+  // Two tiny single-row quadrants: all crossings are zero (single row), so
+  // cut-line density is zero -- then a two-row quadrant pair where the
+  // right gap of one and the left gap of the other carry wires.
+  Netlist netlist(8);
+  std::vector<Quadrant> quadrants;
+  quadrants.emplace_back(
+      "a", PackageGeometry{},
+      std::vector<std::vector<NetId>>{{0, 1, 2}, {3}});
+  quadrants.emplace_back(
+      "b", PackageGeometry{},
+      std::vector<std::vector<NetId>>{{4, 5, 6}, {7}});
+  const Package package("p", std::move(netlist), PackageGeometry{},
+                        std::move(quadrants));
+  PackageAssignment assignment;
+  // Quadrant a: all of row 0 right of the top-row net 3 -> they cross the
+  // top line in its right-end window.
+  assignment.quadrants.push_back({{3, 0, 1, 2}});
+  // Quadrant b: all of row 0 left of top-row net 7 -> left gap.
+  assignment.quadrants.push_back({{4, 5, 6, 7}});
+  const CutLineReport report = analyze_cut_lines(package, assignment);
+  // Boundary 0 joins a's right edge (right-end gap of its top row) with
+  // b's left edge (left gap of b's top row).
+  EXPECT_GT(report.boundary_max[0], 0);
+  EXPECT_EQ(report.boundary_max.size(), 2u);
+}
+
+TEST(CutLine, MismatchRejected) {
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(0));
+  PackageAssignment assignment;
+  assignment.quadrants.resize(2);
+  EXPECT_THROW((void)analyze_cut_lines(package, assignment),
+               InvalidArgument);
+}
+
+TEST(CutLine, DfaBeatsRandomOnCutLinesToo) {
+  for (int circuit = 0; circuit < 3; ++circuit) {
+    const Package package =
+        CircuitGenerator::generate(CircuitGenerator::table1(circuit));
+    const CutLineReport random_report = analyze_cut_lines(
+        package, RandomAssigner(7).assign(package));
+    const CutLineReport dfa_report =
+        analyze_cut_lines(package, DfaAssigner().assign(package));
+    EXPECT_LE(dfa_report.max_density, random_report.max_density)
+        << "circuit " << circuit;
+  }
+}
+
+}  // namespace
+}  // namespace fp

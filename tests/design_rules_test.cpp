@@ -1,0 +1,116 @@
+// Tests of the DRC capacity check on the congestion map.
+#include <gtest/gtest.h>
+
+#include "assign/dfa.h"
+#include "assign/random_assigner.h"
+#include "package/circuit_generator.h"
+#include "route/design_rules.h"
+
+namespace fp {
+namespace {
+
+QuadrantAssignment order_of(std::vector<NetId> nets) {
+  QuadrantAssignment a;
+  a.order = std::move(nets);
+  return a;
+}
+
+TEST(Drc, GapCapacityArithmetic) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();  // pitch 1.0 um
+  DrcRules rules;
+  rules.wire_width_um = 0.1;
+  rules.wire_space_um = 0.1;
+  // (1.0 - via 0.1) / 0.2 = 4.5 -> 4 wires.
+  EXPECT_EQ(gap_capacity(q, rules), 4);
+  rules.wire_width_um = 0.3;
+  rules.wire_space_um = 0.3;
+  EXPECT_EQ(gap_capacity(q, rules), 1);
+}
+
+TEST(Drc, InvalidRulesRejected) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  DrcRules rules;
+  rules.wire_width_um = 0.0;
+  EXPECT_THROW((void)gap_capacity(q, rules), InvalidArgument);
+}
+
+TEST(Drc, CleanWhenUnderCapacity) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  DrcRules rules;
+  rules.wire_width_um = 0.1;
+  rules.wire_space_um = 0.1;  // capacity 4
+  // DFA order peaks at density 2 -> clean.
+  const DrcReport report =
+      check_design_rules(q, order_of({10, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0}),
+                         rules);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.total_overflow, 0);
+  EXPECT_EQ(report.min_gap_capacity, 4);
+}
+
+TEST(Drc, FlagsOverloadedGaps) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  DrcRules rules;
+  rules.wire_width_um = 0.2;
+  rules.wire_space_um = 0.2;  // capacity (0.9)/0.4 = 2
+  // Random order peaks at 4 in the top row's leftmost gap.
+  const DrcReport report = check_design_rules(
+      q, order_of({10, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0}), rules);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations.front().load, 4);
+  EXPECT_EQ(report.violations.front().capacity, 2);
+  EXPECT_EQ(report.violations.front().row, 2);
+  EXPECT_EQ(report.violations.front().gap, 0);
+  EXPECT_GE(report.total_overflow, 2);
+  // Violations are sorted by overflow, worst first.
+  for (std::size_t i = 1; i < report.violations.size(); ++i) {
+    EXPECT_GE(report.violations[i - 1].load - report.violations[i - 1].capacity,
+              report.violations[i].load - report.violations[i].capacity);
+  }
+}
+
+TEST(Drc, DfaClearsWhatRandomViolates) {
+  // The paper's design-rule motivation, quantified: pick rules tight
+  // enough that the random baseline violates but DFA does not.
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(1));
+  DrcRules rules;
+  rules.wire_width_um = 0.07;
+  rules.wire_space_um = 0.07;  // capacity (1.4-0.1)/0.14 = 9
+  const DrcReport random_report = check_design_rules(
+      package, RandomAssigner(1).assign(package), rules);
+  const DrcReport dfa_report =
+      check_design_rules(package, DfaAssigner().assign(package), rules);
+  EXPECT_FALSE(random_report.clean());
+  EXPECT_TRUE(dfa_report.clean());
+}
+
+TEST(Drc, PackageReportTagsQuadrants) {
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(0));
+  DrcRules rules;
+  rules.wire_width_um = 0.4;
+  rules.wire_space_um = 0.4;  // capacity (2-0.1)/0.8 = 2: very tight
+  const DrcReport report = check_design_rules(
+      package, RandomAssigner(5).assign(package), rules);
+  ASSERT_FALSE(report.clean());
+  bool beyond_first_quadrant = false;
+  for (const GapViolation& v : report.violations) {
+    EXPECT_GE(v.quadrant, 0);
+    EXPECT_LT(v.quadrant, 4);
+    if (v.quadrant > 0) beyond_first_quadrant = true;
+  }
+  EXPECT_TRUE(beyond_first_quadrant);
+}
+
+TEST(Drc, MismatchedAssignmentRejected) {
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(0));
+  PackageAssignment assignment;
+  assignment.quadrants.resize(1);
+  EXPECT_THROW((void)check_design_rules(package, assignment),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fp

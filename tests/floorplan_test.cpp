@@ -1,0 +1,91 @@
+// Tests of the floorplan-to-power-map bridge.
+#include <gtest/gtest.h>
+
+#include "power/floorplan.h"
+#include "power/solver.h"
+
+namespace fp {
+namespace {
+
+PowerGridSpec spec16() {
+  PowerGridSpec spec;
+  spec.nodes_per_side = 16;
+  spec.vdd = 1.0;
+  return spec;
+}
+
+TEST(Floorplan, Validation) {
+  EXPECT_THROW(Floorplan(-1.0), InvalidArgument);
+  Floorplan fp(1.0);
+  EXPECT_THROW(fp.add_module({"m", {0.0, 0.0, 0.0, 0.5}, 1.0}),
+               InvalidArgument);  // zero area
+  EXPECT_THROW(fp.add_module({"m", {0.5, 0.5, 1.5, 1.0}, 1.0}),
+               InvalidArgument);  // outside the die
+  EXPECT_THROW(fp.add_module({"m", {0.0, 0.0, 0.5, 0.5}, -1.0}),
+               InvalidArgument);  // negative power
+  fp.add_module({"m", {0.0, 0.0, 0.5, 0.5}, 1.0});
+  EXPECT_THROW(fp.add_module({"m", {0.5, 0.5, 1.0, 1.0}, 1.0}),
+               InvalidArgument);  // duplicate name
+}
+
+TEST(Floorplan, TotalPower) {
+  Floorplan fp(2.0);
+  fp.add_module({"cpu", {0.0, 0.0, 0.5, 0.5}, 3.0});
+  fp.add_module({"dsp", {0.5, 0.5, 1.0, 1.0}, 1.5});
+  EXPECT_DOUBLE_EQ(fp.total_power_w(), 6.5);
+  EXPECT_EQ(fp.modules().size(), 2u);
+}
+
+TEST(Floorplan, CurrentConservation) {
+  // Sum of node currents == total power / vdd.
+  Floorplan fp(2.0);
+  fp.add_module({"cpu", {0.1, 0.1, 0.6, 0.4}, 3.0});
+  const PowerGrid grid = fp.build_grid(spec16());
+  double total = 0.0;
+  for (int y = 0; y < grid.k(); ++y) {
+    for (int x = 0; x < grid.k(); ++x) total += grid.node_current(x, y);
+  }
+  EXPECT_NEAR(total, 5.0, 1e-9);
+}
+
+TEST(Floorplan, ModuleCurrentIsLocalised) {
+  Floorplan fp(0.0);
+  fp.add_module({"hot", {0.0, 0.0, 0.25, 0.25}, 4.0});
+  const PowerGrid grid = fp.build_grid(spec16());
+  EXPECT_GT(grid.node_current(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(grid.node_current(12, 12), 0.0);
+}
+
+TEST(Floorplan, DropPeaksUnderTheHotModule) {
+  Floorplan fp(1.0);
+  fp.add_module({"hot", {0.6, 0.6, 0.95, 0.95}, 8.0});
+  PowerGrid grid = fp.build_grid(spec16());
+  grid.set_pads({{0, 0}, {15, 0}, {0, 15}, {15, 15}});
+  const SolveResult result = solve(grid);
+  ASSERT_TRUE(result.converged);
+  // The module's centre node must be lower than the mirrored cold corner.
+  EXPECT_LT(result.voltage(12, 12), result.voltage(3, 3));
+}
+
+TEST(Floorplan, TooCoarseMeshRejected) {
+  Floorplan fp(0.0);
+  fp.add_module({"sliver", {0.49, 0.49, 0.51, 0.51}, 1.0});
+  PowerGridSpec spec = spec16();
+  spec.nodes_per_side = 4;  // node centres miss the sliver
+  EXPECT_THROW((void)fp.build_grid(spec), InvalidArgument);
+}
+
+TEST(Floorplan, ExplicitCurrentsOverrideSpec) {
+  Floorplan fp(1.0);
+  PowerGridSpec spec = spec16();
+  spec.total_current_a = 99.0;  // must be ignored by build_grid
+  const PowerGrid grid = fp.build_grid(spec);
+  double total = 0.0;
+  for (int y = 0; y < grid.k(); ++y) {
+    for (int x = 0; x < grid.k(); ++x) total += grid.node_current(x, y);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fp

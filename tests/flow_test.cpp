@@ -1,0 +1,155 @@
+// Integration tests: the full Fig.-1(B) co-design flow end to end on the
+// Table-1 circuits, 2-D and stacking, checking the paper's qualitative
+// claims hold on our substrate.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "codesign/flow.h"
+#include "package/circuit_generator.h"
+#include "route/legality.h"
+
+namespace fp {
+namespace {
+
+FlowOptions light_flow(AssignmentMethod method) {
+  FlowOptions options;
+  options.method = method;
+  options.grid_spec.nodes_per_side = 16;
+  options.exchange.schedule.initial_temperature = 2.0;
+  options.exchange.schedule.final_temperature = 1e-3;
+  options.exchange.schedule.cooling = 0.9;
+  options.exchange.schedule.moves_per_temperature = 32;
+  return options;
+}
+
+Package make_package(int circuit, int tiers = 1) {
+  CircuitSpec spec = CircuitGenerator::table1(circuit);
+  spec.tier_count = tiers;
+  return CircuitGenerator::generate(spec);
+}
+
+TEST(Flow, EndToEnd2D) {
+  const Package package = make_package(0);
+  const CodesignFlow flow(light_flow(AssignmentMethod::Dfa));
+  const FlowResult result = flow.run(package);
+
+  // Both assignments legal.
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    EXPECT_TRUE(is_monotone_legal(
+        package.quadrant(qi),
+        result.initial.quadrants[static_cast<std::size_t>(qi)]));
+    EXPECT_TRUE(is_monotone_legal(
+        package.quadrant(qi),
+        result.final.quadrants[static_cast<std::size_t>(qi)]));
+  }
+  EXPECT_GT(result.max_density_initial, 0);
+  EXPECT_GT(result.flyline_initial_um, 0.0);
+  EXPECT_TRUE(result.ir_initial.converged);
+  EXPECT_TRUE(result.ir_final.converged);
+  // The exchange step improves IR-drop (the Table-3 headline).
+  EXPECT_LT(result.ir_final.max_drop_v, result.ir_initial.max_drop_v);
+  EXPECT_GT(result.ir_improvement_percent(), 0.0);
+  EXPECT_GE(result.runtime_s, 0.0);
+}
+
+TEST(Flow, EndToEndStacking) {
+  const Package package = make_package(0, 4);
+  FlowOptions options = light_flow(AssignmentMethod::Dfa);
+  options.exchange.phi = 4.0;
+  const CodesignFlow flow(options);
+  const FlowResult result = flow.run(package);
+  EXPECT_LT(result.bonding_final.omega, result.bonding_initial.omega);
+  EXPECT_GT(result.bonding_improvement_percent(), 0.0);
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    EXPECT_TRUE(is_monotone_legal(
+        package.quadrant(qi),
+        result.final.quadrants[static_cast<std::size_t>(qi)]));
+  }
+}
+
+TEST(Flow, MethodOrderingOnDensity) {
+  // Table 2's qualitative result: DFA <= IFA <= Random on max density.
+  for (int circuit = 0; circuit < 5; ++circuit) {
+    const Package package = make_package(circuit);
+    FlowOptions options = light_flow(AssignmentMethod::Random);
+    options.run_exchange = false;
+
+    options.method = AssignmentMethod::Random;
+    const int random_density =
+        CodesignFlow(options).run(package).max_density_initial;
+    options.method = AssignmentMethod::Ifa;
+    const int ifa_density =
+        CodesignFlow(options).run(package).max_density_initial;
+    options.method = AssignmentMethod::Dfa;
+    const int dfa_density =
+        CodesignFlow(options).run(package).max_density_initial;
+
+    EXPECT_LE(dfa_density, ifa_density) << "circuit " << circuit;
+    EXPECT_LT(ifa_density, random_density) << "circuit " << circuit;
+  }
+}
+
+TEST(Flow, SkipExchangeKeepsAssignment) {
+  const Package package = make_package(1);
+  FlowOptions options = light_flow(AssignmentMethod::Ifa);
+  options.run_exchange = false;
+  const FlowResult result = CodesignFlow(options).run(package);
+  for (std::size_t qi = 0; qi < result.initial.quadrants.size(); ++qi) {
+    EXPECT_EQ(result.initial.quadrants[qi].order,
+              result.final.quadrants[qi].order);
+  }
+  EXPECT_EQ(result.max_density_initial, result.max_density_final);
+}
+
+TEST(Flow, NoSupplyNetsStillRuns) {
+  CircuitSpec spec = CircuitGenerator::table1(0);
+  spec.supply_fraction = 0.0;
+  spec.tier_count = 2;  // stacking: moves pick any pad, no supply needed
+  const Package package = CircuitGenerator::generate(spec);
+  const FlowResult result =
+      CodesignFlow(light_flow(AssignmentMethod::Dfa)).run(package);
+  EXPECT_EQ(result.ir_initial.max_drop_v, 0.0);  // IR skipped
+  EXPECT_EQ(result.ir_improvement_percent(), 0.0);
+}
+
+TEST(Flow, SummaryMentionsKeyMetrics) {
+  const Package package = make_package(0);
+  const FlowResult result =
+      CodesignFlow(light_flow(AssignmentMethod::Dfa)).run(package);
+  const std::string text = CodesignFlow::summary(package, result);
+  EXPECT_NE(text.find("max density"), std::string::npos);
+  EXPECT_NE(text.find("IR-drop"), std::string::npos);
+  EXPECT_NE(text.find("bonding wire"), std::string::npos);
+}
+
+TEST(Flow, MethodNames) {
+  EXPECT_EQ(to_string(AssignmentMethod::Random), "random");
+  EXPECT_EQ(to_string(AssignmentMethod::Ifa), "IFA");
+  EXPECT_EQ(to_string(AssignmentMethod::Dfa), "DFA");
+}
+
+class FlowSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FlowSweep, LegalAndImprovingAcrossCircuitsAndTiers) {
+  const auto [circuit, tiers] = GetParam();
+  const Package package = make_package(circuit, tiers);
+  FlowOptions options = light_flow(AssignmentMethod::Dfa);
+  const FlowResult result = CodesignFlow(options).run(package);
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    EXPECT_TRUE(is_monotone_legal(
+        package.quadrant(qi),
+        result.final.quadrants[static_cast<std::size_t>(qi)]));
+  }
+  // IR never gets worse than the initial assignment by more than noise.
+  EXPECT_LE(result.ir_final.max_drop_v,
+            result.ir_initial.max_drop_v * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(CircuitsAndTiers, FlowSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace fp

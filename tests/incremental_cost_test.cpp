@@ -1,0 +1,122 @@
+// Property tests of the incremental Eq.-(3) evaluator: after any sequence
+// of random legal adjacent swaps (and undos), every term must equal the
+// full recomputation on the same order.
+#include <gtest/gtest.h>
+
+#include "assign/dfa.h"
+#include "exchange/exchange.h"
+#include "exchange/incremental_cost.h"
+#include "package/circuit_generator.h"
+#include "power/pad_ring.h"
+#include "stack/stacking.h"
+#include "util/rng.h"
+
+namespace fp {
+namespace {
+
+Package make_package(int tiers, std::uint64_t seed = 3) {
+  CircuitSpec spec = CircuitGenerator::table1(1);
+  spec.tier_count = tiers;
+  spec.seed = seed;
+  return CircuitGenerator::generate(spec);
+}
+
+void check_equivalence(const Package& package,
+                       const PackageAssignment& initial,
+                       const IncrementalCost& incremental,
+                       const IncreasedDensity& baseline) {
+  const PackageAssignment& current = incremental.assignment();
+  if (!package.netlist().supply_nets().empty()) {
+    EXPECT_NEAR(incremental.dispersion(),
+                supply_dispersion(current.ring_order(), package.netlist()),
+                1e-9);
+  } else {
+    EXPECT_DOUBLE_EQ(incremental.dispersion(), 0.0);
+  }
+  EXPECT_EQ(incremental.increased_density(), baseline.evaluate(current));
+  EXPECT_EQ(incremental.omega(),
+            omega_zero_bits(current.ring_order(), package.netlist(),
+                            package.netlist().tier_count()));
+  (void)initial;
+}
+
+class IncrementalSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(IncrementalSweep, MatchesFullRecomputation) {
+  const auto [tiers, seed] = GetParam();
+  const Package package = make_package(tiers, seed);
+  const PackageAssignment initial = DfaAssigner().assign(package);
+  const IncreasedDensity baseline(package, initial);
+  IncrementalCost incremental(package, initial, 20.0, 2.0, 1.0);
+  check_equivalence(package, initial, incremental, baseline);
+
+  Rng rng(seed * 77 + 1);
+  int applied = 0;
+  for (int step = 0; step < 400; ++step) {
+    const int qi = static_cast<int>(rng.index(
+        static_cast<std::size_t>(package.quadrant_count())));
+    const Quadrant& q = package.quadrant(qi);
+    const auto& order =
+        incremental.assignment().quadrants[static_cast<std::size_t>(qi)]
+            .order;
+    const int left = static_cast<int>(rng.index(order.size() - 1));
+    const NetId a = order[static_cast<std::size_t>(left)];
+    const NetId b = order[static_cast<std::size_t>(left + 1)];
+    if (q.net_row(a) == q.net_row(b)) continue;  // illegal move, skip
+
+    incremental.apply_swap(qi, left);
+    ++applied;
+    if (step % 5 == 0) {
+      // Occasionally undo and re-apply to exercise that path.
+      incremental.undo_last();
+      incremental.apply_swap(qi, left);
+    }
+    if (step % 7 == 0) {
+      check_equivalence(package, initial, incremental, baseline);
+    }
+  }
+  EXPECT_GT(applied, 100);
+  check_equivalence(package, initial, incremental, baseline);
+
+  // Eq.-(3) composition matches the optimizer's full evaluation.
+  ExchangeOptions options;
+  options.lambda = 20.0;
+  options.rho = 2.0;
+  options.phi = 1.0;
+  const ExchangeOptimizer evaluator(package, options);
+  EXPECT_NEAR(incremental.current(),
+              evaluator.cost(incremental.assignment(), baseline), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TiersAndSeeds, IncrementalSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(IncrementalCost, UndoWithoutApplyThrows) {
+  const Package package = make_package(1);
+  const PackageAssignment initial = DfaAssigner().assign(package);
+  IncrementalCost incremental(package, initial, 1.0, 1.0, 1.0);
+  EXPECT_THROW(incremental.undo_last(), InvalidArgument);
+}
+
+TEST(IncrementalCost, SameRowSwapRejected) {
+  const Package package = make_package(1);
+  const PackageAssignment initial = DfaAssigner().assign(package);
+  IncrementalCost incremental(package, initial, 1.0, 1.0, 1.0);
+  // Find a same-row adjacent pair in quadrant 0.
+  const Quadrant& q = package.quadrant(0);
+  const auto& order = initial.quadrants[0].order;
+  for (int left = 0; left + 1 < static_cast<int>(order.size()); ++left) {
+    if (q.net_row(order[static_cast<std::size_t>(left)]) ==
+        q.net_row(order[static_cast<std::size_t>(left + 1)])) {
+      EXPECT_THROW(incremental.apply_swap(0, left), InvalidArgument);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no same-row adjacent pair in this instance";
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,88 @@
+// Tests of the monotonic-routability legality checker (Section 3.1 rule).
+#include <gtest/gtest.h>
+
+#include "package/circuit_generator.h"
+#include "route/legality.h"
+
+namespace fp {
+namespace {
+
+QuadrantAssignment order_of(std::vector<NetId> nets) {
+  QuadrantAssignment a;
+  a.order = std::move(nets);
+  return a;
+}
+
+TEST(Legality, PaperRandomOrderIsLegal) {
+  // Fig. 5(A)'s random order conforms to the monotonic rule by design.
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  EXPECT_TRUE(is_monotone_legal(
+      q, order_of({10, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0})));
+}
+
+TEST(Legality, PaperIfaAndDfaOrdersAreLegal) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  EXPECT_TRUE(is_monotone_legal(
+      q, order_of({10, 1, 11, 2, 3, 6, 4, 5, 9, 7, 8, 0})));
+  EXPECT_TRUE(is_monotone_legal(
+      q, order_of({10, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0})));
+}
+
+TEST(Legality, SwappedSameRowPairIsIllegal) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  // Swap nets 6 and 11 (both on the top row): via order now disagrees.
+  const auto violation =
+      find_violation(q, order_of({10, 1, 6, 2, 3, 11, 4, 5, 9, 7, 8, 0}));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->row, 2);
+  EXPECT_EQ(violation->left_net, 11);
+  EXPECT_EQ(violation->right_net, 6);
+  EXPECT_FALSE(violation->to_string().empty());
+}
+
+TEST(Legality, ReversedOrderIsIllegal) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  EXPECT_FALSE(is_monotone_legal(
+      q, order_of({0, 8, 7, 5, 9, 4, 3, 6, 2, 11, 1, 10})));
+}
+
+TEST(Legality, SameRowAdjacentInOrderStillLegal) {
+  // Same-row nets may be adjacent fingers as long as the order matches.
+  const Quadrant q("two", PackageGeometry{}, {{0, 1, 2}});
+  EXPECT_TRUE(is_monotone_legal(q, order_of({0, 1, 2})));
+  EXPECT_FALSE(is_monotone_legal(q, order_of({1, 0, 2})));
+  EXPECT_FALSE(is_monotone_legal(q, order_of({0, 2, 1})));
+}
+
+TEST(Legality, NonPermutationRejected) {
+  const Quadrant q("two", PackageGeometry{}, {{0, 1, 2}});
+  EXPECT_THROW((void)is_monotone_legal(q, order_of({0, 1})),
+               InvalidArgument);
+  EXPECT_THROW((void)is_monotone_legal(q, order_of({0, 1, 1})),
+               InvalidArgument);
+  EXPECT_THROW((void)is_monotone_legal(q, order_of({0, 1, 9})),
+               InvalidArgument);
+}
+
+TEST(Legality, CrossRowOrderIsFree) {
+  // Nets of different rows may appear in any relative order.
+  const Quadrant q("mix", PackageGeometry{}, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(is_monotone_legal(q, order_of({2, 0, 3, 1})));
+  EXPECT_TRUE(is_monotone_legal(q, order_of({0, 2, 1, 3})));
+  EXPECT_TRUE(is_monotone_legal(q, order_of({0, 1, 2, 3})));
+  EXPECT_TRUE(is_monotone_legal(q, order_of({2, 3, 0, 1})));
+  EXPECT_FALSE(is_monotone_legal(q, order_of({1, 0, 2, 3})));
+  EXPECT_FALSE(is_monotone_legal(q, order_of({0, 3, 2, 1})));
+}
+
+TEST(Legality, ViolationReportsFirstOffendingRow) {
+  const Quadrant q("mix", PackageGeometry{}, {{0, 1}, {2, 3}});
+  const auto violation = find_violation(q, order_of({1, 0, 3, 2}));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->row, 0);
+  EXPECT_EQ(violation->left_net, 0);
+  EXPECT_EQ(violation->right_net, 1);
+}
+
+}  // namespace
+}  // namespace fp

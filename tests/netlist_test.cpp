@@ -1,0 +1,87 @@
+// Unit tests for the netlist module.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+
+namespace fp {
+namespace {
+
+TEST(Netlist, BulkConstructorMakesSignals) {
+  const Netlist netlist(5);
+  EXPECT_EQ(netlist.size(), 5u);
+  for (NetId id = 0; id < 5; ++id) {
+    EXPECT_EQ(netlist.net(id).type, NetType::Signal);
+    EXPECT_EQ(netlist.net(id).tier, 0);
+    EXPECT_EQ(netlist.net(id).id, id);
+  }
+  EXPECT_EQ(netlist.net(3).name, "N3");
+}
+
+TEST(Netlist, AddAssignsDenseIds) {
+  Netlist netlist;
+  EXPECT_EQ(netlist.add("VDD", NetType::Power), 0);
+  EXPECT_EQ(netlist.add("VSS", NetType::Ground), 1);
+  EXPECT_EQ(netlist.add("D0"), 2);
+  EXPECT_EQ(netlist.size(), 3u);
+}
+
+TEST(Netlist, OutOfRangeThrows) {
+  Netlist netlist(2);
+  EXPECT_THROW((void)netlist.net(2), InvalidArgument);
+  EXPECT_THROW((void)netlist.net(-1), InvalidArgument);
+}
+
+TEST(Netlist, NegativeTierRejected) {
+  Netlist netlist;
+  EXPECT_THROW((void)netlist.add("X", NetType::Signal, -1), InvalidArgument);
+}
+
+TEST(Netlist, SupplyNetsFindsPowerAndGround) {
+  Netlist netlist;
+  netlist.add("VDD", NetType::Power);
+  netlist.add("D0");
+  netlist.add("VSS", NetType::Ground);
+  netlist.add("D1");
+  const auto supply = netlist.supply_nets();
+  ASSERT_EQ(supply.size(), 2u);
+  EXPECT_EQ(supply[0], 0);
+  EXPECT_EQ(supply[1], 2);
+}
+
+TEST(Netlist, CountByType) {
+  Netlist netlist;
+  netlist.add("VDD", NetType::Power);
+  netlist.add("D0");
+  netlist.add("D1");
+  EXPECT_EQ(netlist.count(NetType::Signal), 2u);
+  EXPECT_EQ(netlist.count(NetType::Power), 1u);
+  EXPECT_EQ(netlist.count(NetType::Ground), 0u);
+}
+
+TEST(Netlist, TierCount) {
+  Netlist netlist;
+  netlist.add("A", NetType::Signal, 0);
+  EXPECT_EQ(netlist.tier_count(), 1);
+  netlist.add("B", NetType::Signal, 3);
+  EXPECT_EQ(netlist.tier_count(), 4);
+}
+
+TEST(Netlist, EmptyTierCountIsOne) {
+  const Netlist netlist;
+  EXPECT_EQ(netlist.tier_count(), 1);
+}
+
+TEST(NetType, ToString) {
+  EXPECT_EQ(to_string(NetType::Signal), "signal");
+  EXPECT_EQ(to_string(NetType::Power), "power");
+  EXPECT_EQ(to_string(NetType::Ground), "ground");
+}
+
+TEST(NetType, IsSupply) {
+  EXPECT_TRUE(is_supply(NetType::Power));
+  EXPECT_TRUE(is_supply(NetType::Ground));
+  EXPECT_FALSE(is_supply(NetType::Signal));
+}
+
+}  // namespace
+}  // namespace fp

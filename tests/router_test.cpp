@@ -1,0 +1,200 @@
+// Tests of the monotonic router: path structure, the monotonic property
+// itself (each horizontal line crossed exactly once, no detours), length
+// metrics, and package-level aggregation.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "assign/dfa.h"
+#include "geom/segment.h"
+#include "assign/random_assigner.h"
+#include "package/circuit_generator.h"
+#include "route/render.h"
+#include "route/router.h"
+
+namespace fp {
+namespace {
+
+QuadrantAssignment order_of(std::vector<NetId> nets) {
+  QuadrantAssignment a;
+  a.order = std::move(nets);
+  return a;
+}
+
+TEST(Router, PathStructure) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantAssignment a =
+      order_of({10, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0});
+  const QuadrantRoute route = MonotonicRouter().route(q, a);
+  ASSERT_EQ(route.nets.size(), 12u);
+  for (const RoutedNet& net : route.nets) {
+    // finger + one crossing per line above the bump row + via + bump.
+    const int bump_row = q.net_row(net.net);
+    const std::size_t expected_points =
+        1 + static_cast<std::size_t>(q.top_row() - bump_row) + 2;
+    EXPECT_EQ(net.path.size(), expected_points) << "net " << net.net;
+    // Path starts at the net's finger, ends at its bump.
+    EXPECT_EQ(net.path.front(), q.finger_position(net.finger));
+    EXPECT_EQ(net.path.back(),
+              q.bump_position(bump_row, q.net_col(net.net)));
+  }
+}
+
+TEST(Router, MonotonicDescent) {
+  // y must strictly decrease along every layer-1 path (the monotonic
+  // property: each horizontal line crossed exactly once, no detours). The
+  // final via -> bump hop lives on layer 2 and steps back up to the bump
+  // centre, so it is excluded.
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantRoute route =
+      MonotonicRouter().route(q, order_of({10, 1, 2, 3, 11, 6, 9, 4, 5, 8,
+                                           7, 0}));
+  for (const RoutedNet& net : route.nets) {
+    for (std::size_t i = 1; i + 1 < net.path.size(); ++i) {
+      EXPECT_LT(net.path[i].y, net.path[i - 1].y) << "net " << net.net;
+    }
+  }
+}
+
+TEST(Router, Layer1PathsNeverCross) {
+  // The defining property of monotonic routing: with track spreading, no
+  // two layer-1 wires intersect. The final via->bump hop is layer 2 and
+  // excluded.
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(0));
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const PackageAssignment assignment =
+        RandomAssigner(seed).assign(package);
+    const PackageRoute route = MonotonicRouter().route(package, assignment);
+    for (const QuadrantRoute& qr : route.quadrants) {
+      std::vector<std::vector<Segment>> wires;
+      for (const RoutedNet& net : qr.nets) {
+        std::vector<Segment> segments;
+        for (std::size_t i = 1; i + 1 < net.path.size(); ++i) {
+          segments.push_back(Segment{net.path[i - 1], net.path[i]});
+        }
+        wires.push_back(std::move(segments));
+      }
+      for (std::size_t i = 0; i < wires.size(); ++i) {
+        for (std::size_t j = i + 1; j < wires.size(); ++j) {
+          for (const Segment& s1 : wires[i]) {
+            for (const Segment& s2 : wires[j]) {
+              EXPECT_FALSE(segments_cross(s1, s2, 1e-9))
+                  << "nets " << qr.nets[i].net << " and " << qr.nets[j].net
+                  << " cross (seed " << seed << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Router, RoutedAtLeastFlyline) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantRoute route =
+      MonotonicRouter().route(q, order_of({10, 11, 1, 2, 6, 3, 4, 9, 5, 7,
+                                           8, 0}));
+  for (const RoutedNet& net : route.nets) {
+    EXPECT_GE(net.routed_length_um, net.flyline_length_um - 1e-9);
+    EXPECT_GT(net.flyline_length_um, 0.0);
+  }
+  EXPECT_GE(route.total_routed_um, route.total_flyline_um - 1e-9);
+}
+
+TEST(Router, DensityMatchesDensityMap) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantAssignment a =
+      order_of({10, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0});
+  const QuadrantRoute route = MonotonicRouter().route(q, a);
+  const DensityMap d(q, a);
+  EXPECT_EQ(route.max_density, d.max_density());
+  ASSERT_EQ(static_cast<int>(route.gap_densities.size()), q.row_count());
+  for (int r = 0; r < q.row_count(); ++r) {
+    EXPECT_EQ(route.gap_densities[static_cast<std::size_t>(r)],
+              d.row_densities(r));
+  }
+}
+
+TEST(Router, PackageAggregation) {
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(0));
+  const PackageAssignment assignment = DfaAssigner().assign(package);
+  const PackageRoute route = MonotonicRouter().route(package, assignment);
+  ASSERT_EQ(route.quadrants.size(), 4u);
+  int worst = 0;
+  double flyline = 0.0;
+  for (const QuadrantRoute& qr : route.quadrants) {
+    worst = std::max(worst, qr.max_density);
+    flyline += qr.total_flyline_um;
+  }
+  EXPECT_EQ(route.max_density, worst);
+  EXPECT_NEAR(route.total_flyline_um, flyline, 1e-9);
+  EXPECT_EQ(route.max_density, max_density(package, assignment));
+  EXPECT_NEAR(route.total_flyline_um,
+              total_flyline_um(package, assignment), 1e-9);
+}
+
+TEST(Router, QuadrantCountMismatchRejected) {
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(0));
+  PackageAssignment assignment = DfaAssigner().assign(package);
+  assignment.quadrants.pop_back();
+  EXPECT_THROW((void)MonotonicRouter().route(package, assignment),
+               InvalidArgument);
+  EXPECT_THROW((void)max_density(package, assignment), InvalidArgument);
+  EXPECT_THROW((void)total_flyline_um(package, assignment), InvalidArgument);
+}
+
+TEST(Router, DfaFlylineShorterThanRandom) {
+  // The Table-2 wirelength property on every Table-1 circuit.
+  for (int circuit = 0; circuit < 5; ++circuit) {
+    const Package package =
+        CircuitGenerator::generate(CircuitGenerator::table1(circuit));
+    const double random_wl =
+        total_flyline_um(package, RandomAssigner(11).assign(package));
+    const double dfa_wl =
+        total_flyline_um(package, DfaAssigner().assign(package));
+    EXPECT_LT(dfa_wl, random_wl) << "circuit " << circuit;
+  }
+}
+
+TEST(Render, ProducesWellFormedSvg) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantAssignment a = DfaAssigner().assign(q);
+  const QuadrantRoute route = MonotonicRouter().route(q, a);
+  const std::string svg = render_quadrant_route(q, route, "fig5 DFA");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("fig5 DFA"), std::string::npos);
+  // One polyline per net.
+  std::size_t count = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 12u);
+}
+
+TEST(Render, SaveWritesFile) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantRoute route =
+      MonotonicRouter().route(q, DfaAssigner().assign(q));
+  const std::string path = ::testing::TempDir() + "/fig5.svg";
+  save_quadrant_route_svg(q, route, "t", path);
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+}
+
+TEST(Render, SaveToBadPathThrows) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantRoute route =
+      MonotonicRouter().route(q, DfaAssigner().assign(q));
+  EXPECT_THROW(
+      save_quadrant_route_svg(q, route, "t", "/nonexistent/dir/f.svg"),
+      IoError);
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,85 @@
+// Unit tests of the segment intersection predicates.
+#include <gtest/gtest.h>
+
+#include "geom/segment.h"
+
+namespace fp {
+namespace {
+
+TEST(Segment, Orientation) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, 1}), 1);   // left turn
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, -1}), -1); // right turn
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(Segment, OnSegment) {
+  const Segment s{{0, 0}, {2, 2}};
+  EXPECT_TRUE(on_segment(s, {1, 1}));
+  EXPECT_TRUE(on_segment(s, {0, 0}));
+  EXPECT_TRUE(on_segment(s, {2, 2}));
+  EXPECT_FALSE(on_segment(s, {3, 3}));   // collinear but outside
+  EXPECT_FALSE(on_segment(s, {1, 1.5})); // off the line
+}
+
+TEST(Segment, ProperCrossing) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+  EXPECT_TRUE(segments_cross(a, b));
+}
+
+TEST(Segment, DisjointSegments) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{0, 1}, {1, 1}};
+  EXPECT_FALSE(segments_intersect(a, b));
+  EXPECT_FALSE(segments_cross(a, b));
+}
+
+TEST(Segment, SharedEndpointIsNotACrossing) {
+  const Segment a{{0, 0}, {1, 1}};
+  const Segment b{{1, 1}, {2, 0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+  EXPECT_FALSE(segments_cross(a, b));
+}
+
+TEST(Segment, TTouchIsACrossing) {
+  const Segment a{{0, 0}, {2, 0}};
+  const Segment b{{1, 0}, {1, 1}};  // endpoint inside a's interior
+  EXPECT_TRUE(segments_intersect(a, b));
+  EXPECT_TRUE(segments_cross(a, b));
+}
+
+TEST(Segment, CollinearOverlapIsACrossing) {
+  const Segment a{{0, 0}, {2, 0}};
+  const Segment b{{1, 0}, {3, 0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+  EXPECT_TRUE(segments_cross(a, b));
+}
+
+TEST(Segment, CollinearButDisjoint) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{2, 0}, {3, 0}};
+  EXPECT_FALSE(segments_intersect(a, b));
+  EXPECT_FALSE(segments_cross(a, b));
+}
+
+TEST(Segment, CollinearTouchingAtEndpoint) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{1, 0}, {2, 0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+  EXPECT_FALSE(segments_cross(a, b));
+}
+
+TEST(Segment, NearMissRespectsEpsilon) {
+  const Segment a{{0, 0}, {2, 0}};
+  const Segment b{{1, 1e-15}, {1, 1}};
+  // Within default epsilon this reads as a T-touch.
+  EXPECT_TRUE(segments_cross(a, b));
+  // With a tiny epsilon it is a miss... still a touch geometrically; use
+  // a clearly separated segment instead.
+  const Segment c{{1, 1e-6}, {1, 1}};
+  EXPECT_FALSE(segments_cross(a, c, 1e-9));
+}
+
+}  // namespace
+}  // namespace fp

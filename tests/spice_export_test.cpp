@@ -1,0 +1,90 @@
+// Tests of the SPICE deck exporter: element counts, pad sources, and the
+// singularity guard.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "power/spice_export.h"
+
+namespace fp {
+namespace {
+
+std::size_t count_lines_starting(const std::string& text, char prefix) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (text[pos] == prefix) ++count;
+    pos = text.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  return count;
+}
+
+PowerGrid small_grid() {
+  PowerGridSpec spec;
+  spec.nodes_per_side = 4;
+  spec.total_current_a = 1.0;
+  PowerGrid grid(spec);
+  grid.set_pads({{0, 0}, {3, 3}});
+  return grid;
+}
+
+TEST(Spice, ElementCounts) {
+  const PowerGrid grid = small_grid();
+  const std::string deck = write_spice_deck(grid);
+  // 4x4 mesh: 2 * 4 * 3 = 24 resistors; 16 loaded nodes; 2 pads.
+  EXPECT_EQ(count_lines_starting(deck, 'R'), 24u);
+  EXPECT_EQ(count_lines_starting(deck, 'I'), 16u);
+  EXPECT_EQ(count_lines_starting(deck, 'V'), 2u);
+  EXPECT_NE(deck.find(".op"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+}
+
+TEST(Spice, PadsPinnedToVdd) {
+  const PowerGrid grid = small_grid();
+  const std::string deck = write_spice_deck(grid);
+  EXPECT_NE(deck.find("V1 n_0_0 0 1"), std::string::npos);
+  EXPECT_NE(deck.find("V2 n_3_3 0 1"), std::string::npos);
+}
+
+TEST(Spice, NoLoadMeansNoCurrentSources) {
+  PowerGridSpec spec;
+  spec.nodes_per_side = 3;
+  spec.total_current_a = 0.0;
+  PowerGrid grid(spec);
+  grid.set_pads({{0, 0}});
+  const std::string deck = write_spice_deck(grid);
+  EXPECT_EQ(count_lines_starting(deck, 'I'), 0u);
+}
+
+TEST(Spice, SingularMeshRejected) {
+  PowerGridSpec spec;
+  spec.nodes_per_side = 3;
+  const PowerGrid grid(spec);
+  EXPECT_THROW((void)write_spice_deck(grid), InvalidArgument);
+}
+
+TEST(Spice, TitleAppearsInDeck) {
+  const PowerGrid grid = small_grid();
+  const std::string deck = write_spice_deck(grid, "my custom title");
+  EXPECT_EQ(deck.rfind("* my custom title", 0), 0u);
+}
+
+TEST(Spice, SaveWritesFile) {
+  const PowerGrid grid = small_grid();
+  const std::string path = ::testing::TempDir() + "/mesh.sp";
+  save_spice_deck(grid, path);
+  std::ifstream file(path);
+  std::string first;
+  ASSERT_TRUE(std::getline(file, first));
+  EXPECT_EQ(first.rfind("* ", 0), 0u);
+}
+
+TEST(Spice, BadPathThrows) {
+  const PowerGrid grid = small_grid();
+  EXPECT_THROW(save_spice_deck(grid, "/no/such/dir/mesh.sp"), IoError);
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,62 @@
+// Unit tests of the streaming statistics accumulator.
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace fp {
+namespace {
+
+TEST(Stats, EmptyThrows) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_THROW((void)stats.mean(), InvalidArgument);
+  EXPECT_THROW((void)stats.min(), InvalidArgument);
+  EXPECT_THROW((void)stats.max(), InvalidArgument);
+  EXPECT_THROW((void)stats.variance(), InvalidArgument);
+}
+
+TEST(Stats, SingleSample) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(Stats, KnownSequence) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of the classic example: 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Stats, NegativeValues) {
+  RunningStats stats;
+  stats.add(-5.0);
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 50.0);
+}
+
+TEST(Stats, NumericallyStableAroundLargeOffset) {
+  RunningStats stats;
+  const double offset = 1e12;
+  for (const double v : {offset + 1.0, offset + 2.0, offset + 3.0}) {
+    stats.add(v);
+  }
+  EXPECT_NEAR(stats.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,317 @@
+// Unit tests for the util module: rng, strings, cli, error helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace fp {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), InvalidArgument);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  std::array<int, 10> histogram{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++histogram[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, draws / 10, draws / 100);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanIsHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(Rng, IndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.index(0), InvalidArgument);
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / draws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / draws, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  rng.shuffle(items);
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(29);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  rng.shuffle(items);
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i) {
+    fixed_points += items[static_cast<size_t>(i)] == i ? 1 : 0;
+  }
+  EXPECT_LT(fixed_points, 15);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent.next() == child.next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// ------------------------------------------------------------- strings ----
+
+TEST(Strings, TrimRemovesBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitOnComma) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  const auto parts = split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmpty) { EXPECT_TRUE(split_ws(" \t ").empty()); }
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, ParseIntValid) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_EQ(parse_int("0"), 0);
+}
+
+TEST(Strings, ParseIntMalformed) {
+  EXPECT_THROW((void)parse_int("4x"), IoError);
+  EXPECT_THROW((void)parse_int(""), IoError);
+  EXPECT_THROW((void)parse_int("1.5"), IoError);
+}
+
+TEST(Strings, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(parse_double("1.25"), 1.25);
+  EXPECT_DOUBLE_EQ(parse_double("-3e2"), -300.0);
+}
+
+TEST(Strings, ParseDoubleMalformed) {
+  EXPECT_THROW((void)parse_double("abc"), IoError);
+  EXPECT_THROW((void)parse_double(""), IoError);
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 0), "-0");
+}
+
+TEST(Strings, FormatPercent) { EXPECT_EQ(format_percent(0.123), "12.3%"); }
+
+// ----------------------------------------------------------------- cli ----
+
+TEST(Cli, ParsesNameValuePairs) {
+  const char* argv[] = {"prog", "--count", "5", "--name=abc", "--flag"};
+  ArgParser args(5, argv);
+  EXPECT_EQ(args.get_int("count", 0), 5);
+  EXPECT_EQ(args.get_string("name", ""), "abc");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_FALSE(args.get_bool("missing", false));
+}
+
+TEST(Cli, Positional) {
+  const char* argv[] = {"prog", "input.txt", "--k", "3", "more"};
+  ArgParser args(5, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=off", "--c=1", "--d=no"};
+  ArgParser args(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const char* argv[] = {"prog", "--a=maybe"};
+  ArgParser args(2, argv);
+  EXPECT_THROW((void)args.get_bool("a", false), InvalidArgument);
+}
+
+TEST(Cli, UnknownFlagDetected) {
+  const char* argv[] = {"prog", "--typo", "1"};
+  ArgParser args(3, argv);
+  args.declare("count", "the count");
+  EXPECT_THROW(args.check_unknown(), InvalidArgument);
+}
+
+TEST(Cli, DeclaredFlagPasses) {
+  const char* argv[] = {"prog", "--count", "1"};
+  ArgParser args(3, argv);
+  args.declare("count", "the count");
+  EXPECT_NO_THROW(args.check_unknown());
+  EXPECT_NE(args.help().find("--count"), std::string::npos);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, argv);
+  EXPECT_EQ(args.get_int("k", 9), 9);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("s", "dft"), "dft");
+}
+
+// --------------------------------------------------------------- error ----
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad input"), InvalidArgument);
+}
+
+TEST(Error, EnsureThrowsInternalError) {
+  EXPECT_NO_THROW(ensure(true, "ok"));
+  EXPECT_THROW(ensure(false, "bug"), InternalError);
+}
+
+TEST(Error, MessagePreserved) {
+  try {
+    require(false, "specific message");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw IoError("io"), Error);
+  EXPECT_THROW(throw InternalError("internal"), Error);
+}
+
+// --------------------------------------------------------------- timer ----
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace fp

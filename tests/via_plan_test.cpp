@@ -1,0 +1,177 @@
+// Tests of via planning: plan legality, the suffix-shift structure, the
+// generalized DensityMap windows, and the planner's improvement guarantee.
+#include <gtest/gtest.h>
+
+#include "assign/dfa.h"
+#include "assign/ifa.h"
+#include "assign/random_assigner.h"
+#include "package/circuit_generator.h"
+#include "route/density.h"
+#include "route/router.h"
+#include "route/via_plan.h"
+
+namespace fp {
+namespace {
+
+QuadrantAssignment order_of(std::vector<NetId> nets) {
+  QuadrantAssignment a;
+  a.order = std::move(nets);
+  return a;
+}
+
+TEST(ViaPlan, BottomLeftIsLegal) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantViaPlan plan = QuadrantViaPlan::bottom_left(q);
+  EXPECT_FALSE(validate_via_plan(q, plan).has_value());
+  // Every bump uses its own column's slot.
+  for (int r = 0; r < q.row_count(); ++r) {
+    for (int c = 0; c < q.bumps_in_row(r); ++c) {
+      EXPECT_EQ(plan.rows[static_cast<std::size_t>(r)]
+                    .slot_of_bump[static_cast<std::size_t>(c)],
+                c);
+    }
+  }
+}
+
+TEST(ViaPlan, SuffixShiftStructure) {
+  const RowViaPlan shifted = QuadrantViaPlan::suffix_shift(4, 2);
+  const std::vector<int> expected{0, 1, 3, 4};
+  EXPECT_EQ(shifted.slot_of_bump, expected);
+  EXPECT_THROW((void)QuadrantViaPlan::suffix_shift(4, 5), InvalidArgument);
+  EXPECT_THROW((void)QuadrantViaPlan::suffix_shift(0, 0), InvalidArgument);
+}
+
+TEST(ViaPlan, ValidationCatchesBadPlans) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  QuadrantViaPlan plan = QuadrantViaPlan::bottom_left(q);
+
+  QuadrantViaPlan missing_row = plan;
+  missing_row.rows.pop_back();
+  EXPECT_TRUE(validate_via_plan(q, missing_row).has_value());
+
+  QuadrantViaPlan wrong_corner = plan;
+  wrong_corner.rows[0].slot_of_bump[2] = 4;  // not a corner of bump 2
+  EXPECT_TRUE(validate_via_plan(q, wrong_corner).has_value());
+
+  QuadrantViaPlan conflict = plan;
+  conflict.rows[0].slot_of_bump[0] = 1;  // collides with bump 1's slot
+  EXPECT_TRUE(validate_via_plan(q, conflict).has_value());
+}
+
+TEST(ViaPlan, DensityMapRejectsIllegalPlan) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  QuadrantViaPlan bad = QuadrantViaPlan::bottom_left(q);
+  bad.rows[0].slot_of_bump[0] = 1;
+  EXPECT_THROW(DensityMap(q, order_of({10, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0}),
+                          bad),
+               InvalidArgument);
+}
+
+TEST(ViaPlan, ShiftedPlanOpensLeftWindow) {
+  // An order that puts all nine crossing nets left of the top row's first
+  // terminator: the fixed bottom-left plan jams them into one gap
+  // (density 9); shifting the top row's vias right (pivot 0) opens a
+  // two-gap window there, and the planner must find it.
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantAssignment a =
+      order_of({10, 1, 2, 3, 4, 5, 7, 8, 0, 11, 6, 9});
+
+  QuadrantViaPlan shifted = QuadrantViaPlan::bottom_left(q);
+  shifted.rows[2] = QuadrantViaPlan::suffix_shift(3, 0);
+  ASSERT_FALSE(validate_via_plan(q, shifted).has_value());
+
+  const DensityMap base(q, a);
+  const DensityMap improved(q, a, shifted);
+  EXPECT_EQ(base.max_density(), 9);
+  EXPECT_EQ(improved.max_density(), 5);  // ceil(9/2) in the opened window
+  EXPECT_EQ(base.total_crossings(), improved.total_crossings());
+
+  const QuadrantViaPlan planned = ViaPlanner().plan(q, a);
+  const DensityMap planner_result(q, a, planned);
+  EXPECT_EQ(planner_result.max_density(), 5);
+}
+
+TEST(ViaPlan, PlannerNeverWorse) {
+  // On every Table-1 circuit and method, the planned vias must not raise
+  // the max density relative to the paper's fixed bottom-left plan.
+  for (int circuit = 0; circuit < 5; ++circuit) {
+    const Package package =
+        CircuitGenerator::generate(CircuitGenerator::table1(circuit));
+    for (int method = 0; method < 3; ++method) {
+      PackageAssignment assignment;
+      switch (method) {
+        case 0:
+          assignment = RandomAssigner(3).assign(package);
+          break;
+        case 1:
+          assignment = IfaAssigner().assign(package);
+          break;
+        default:
+          assignment = DfaAssigner().assign(package);
+          break;
+      }
+      const PackageViaPlan planned = plan_vias(package, assignment);
+      for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+        const Quadrant& q = package.quadrant(qi);
+        const QuadrantAssignment& qa =
+            assignment.quadrants[static_cast<std::size_t>(qi)];
+        ASSERT_FALSE(
+            validate_via_plan(q, planned.quadrants[static_cast<std::size_t>(qi)])
+                .has_value());
+        const int fixed = DensityMap(q, qa).max_density();
+        const int improved =
+            DensityMap(q, qa, planned.quadrants[static_cast<std::size_t>(qi)])
+                .max_density();
+        EXPECT_LE(improved, fixed)
+            << "circuit " << circuit << " method " << method;
+      }
+    }
+  }
+}
+
+TEST(ViaPlan, PlannerImprovesRandomOrders) {
+  // Random orders leave skewed windows, so the planner should find real
+  // improvements at least somewhere across seeds.
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(2));
+  int improved_count = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const PackageAssignment assignment =
+        RandomAssigner(seed).assign(package);
+    const PackageViaPlan planned = plan_vias(package, assignment);
+    const MonotonicRouter router;
+    const PackageRoute fixed = router.route(package, assignment);
+    const PackageRoute routed = router.route(package, assignment, planned);
+    EXPECT_LE(routed.max_density, fixed.max_density);
+    if (routed.max_density < fixed.max_density) ++improved_count;
+  }
+  EXPECT_GT(improved_count, 0);
+}
+
+TEST(ViaPlan, RouterUsesPlannedSlots) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  const QuadrantAssignment a = DfaAssigner().assign(q);
+  QuadrantViaPlan shifted = QuadrantViaPlan::bottom_left(q);
+  shifted.rows[0] = QuadrantViaPlan::suffix_shift(5, 0);
+  const QuadrantRoute route = MonotonicRouter().route(q, a, shifted);
+  for (const RoutedNet& net : route.nets) {
+    const int row = q.net_row(net.net);
+    const int col = q.net_col(net.net);
+    const int slot = shifted.rows[static_cast<std::size_t>(row)]
+                         .slot_of_bump[static_cast<std::size_t>(col)];
+    // The second-to-last path point is the via.
+    const Point via = net.path[net.path.size() - 2];
+    EXPECT_EQ(via, q.via_slot_position(row, slot)) << "net " << net.net;
+  }
+}
+
+TEST(ViaPlan, PlannerRejectsIllegalAssignment) {
+  const Quadrant q = CircuitGenerator::fig5_quadrant();
+  EXPECT_THROW(
+      (void)ViaPlanner().plan(
+          q, order_of({0, 8, 7, 5, 9, 4, 3, 6, 2, 11, 1, 10})),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fp

@@ -1,0 +1,234 @@
+// fpkit -- command line driver for the finger/pad planning flow.
+//
+//   fpkit generate --table1 <1..5> [--tiers N] [--seed S] --out c.fp
+//   fpkit info     <circuit.fp>
+//   fpkit plan     <circuit.fp> [--method random|ifa|dfa] [--no-exchange]
+//                  [--mesh K] [--lambda L --rho R --phi P] [--seed S]
+//   fpkit route    <circuit.fp> [--method ...] [--svg-prefix out]
+//   fpkit ir       <circuit.fp> [--method ...] [--mesh K] [--heatmap f.svg]
+//
+// Exit code 0 on success; errors print to stderr and return 1.
+#include <cstdio>
+#include <string>
+
+#include "assign/dfa.h"
+#include "assign/ifa.h"
+#include "assign/random_assigner.h"
+#include "codesign/flow.h"
+#include "codesign/report.h"
+#include "io/assignment_file.h"
+#include "io/circuit_file.h"
+#include "package/circuit_generator.h"
+#include "package/lint.h"
+#include "power/ir_analysis.h"
+#include "power/spice_export.h"
+#include "route/design_rules.h"
+#include "route/render.h"
+#include "route/router.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace fp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fpkit <generate|info|plan|route|ir> [flags]\n"
+               "  generate --table1 <1..5> [--tiers N] [--seed S] "
+               "[--supply F] --out <file.fp>\n"
+               "  info     <circuit.fp>\n"
+               "  plan     <circuit.fp> [--method random|ifa|dfa] "
+               "[--no-exchange] [--mesh K]\n"
+               "           [--lambda L] [--rho R] [--phi P] [--seed S]\n"
+               "  route    <circuit.fp> [--method ...] [--assignment a.fpa]"
+               " [--svg-prefix p]\n"
+               "  ir       <circuit.fp> [--method ...] [--mesh K] "
+               "[--heatmap f.svg]\n"
+               "  spice    <circuit.fp> [--method ...] [--mesh K] "
+               "[--out deck.sp]\n");
+  return 1;
+}
+
+AssignmentMethod parse_method(const std::string& name) {
+  if (name == "random") return AssignmentMethod::Random;
+  if (name == "ifa") return AssignmentMethod::Ifa;
+  if (name == "dfa") return AssignmentMethod::Dfa;
+  throw InvalidArgument("unknown method '" + name +
+                        "' (expected random|ifa|dfa)");
+}
+
+Package load_input(const ArgParser& args) {
+  require(!args.positional().empty(), "missing circuit file argument");
+  return load_circuit(args.positional().front());
+}
+
+FlowOptions flow_options(const ArgParser& args) {
+  FlowOptions options;
+  options.method =
+      parse_method(args.get_string("method", "dfa"));
+  options.random_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.run_exchange = !args.has("no-exchange");
+  options.grid_spec.nodes_per_side =
+      static_cast<int>(args.get_int("mesh", 32));
+  options.exchange.lambda = args.get_double("lambda", 20.0);
+  options.exchange.rho = args.get_double("rho", 2.0);
+  options.exchange.phi = args.get_double("phi", 1.0);
+  options.exchange.schedule.seed = options.random_seed;
+  return options;
+}
+
+int cmd_generate(const ArgParser& args) {
+  const int table1 = static_cast<int>(args.get_int("table1", 1));
+  CircuitSpec spec = CircuitGenerator::table1(table1 - 1);
+  spec.tier_count = static_cast<int>(args.get_int("tiers", 1));
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", spec.seed));
+  spec.supply_fraction = args.get_double("supply", spec.supply_fraction);
+  const std::string out = args.get_string("out", "");
+  require(!out.empty(), "generate: --out <file.fp> is required");
+  const Package package = CircuitGenerator::generate(spec);
+  save_circuit(package, out);
+  std::printf("wrote %s: %d finger/pads, %d tiers, %zu supply nets\n",
+              out.c_str(), package.finger_count(),
+              package.netlist().tier_count(),
+              package.netlist().supply_nets().size());
+  return 0;
+}
+
+int cmd_info(const ArgParser& args) {
+  const Package package = load_input(args);
+  if (args.has("lint")) {
+    const LintReport lint = lint_package(package);
+    std::printf("%s", lint.to_string().c_str());
+    return lint.errors() == 0 ? 0 : 1;
+  }
+  std::printf("circuit '%s'\n", package.name().c_str());
+  std::printf("  finger/pads : %d\n", package.finger_count());
+  std::printf("  nets        : %zu (%zu power, %zu ground)\n",
+              package.netlist().size(),
+              package.netlist().count(NetType::Power),
+              package.netlist().count(NetType::Ground));
+  std::printf("  tiers       : %d\n", package.netlist().tier_count());
+  std::printf("  quadrants   : %d\n", package.quadrant_count());
+  for (const Quadrant& q : package.quadrants()) {
+    std::printf("    %-8s rows:", q.name().c_str());
+    for (int r = 0; r < q.row_count(); ++r) {
+      std::printf(" %d", q.bumps_in_row(r));
+    }
+    std::printf("  (outermost first)\n");
+  }
+  return 0;
+}
+
+int cmd_plan(const ArgParser& args) {
+  const Package package = load_input(args);
+  const FlowOptions options = flow_options(args);
+  const FlowResult result = CodesignFlow(options).run(package);
+  std::printf("%s", CodesignFlow::summary(package, result).c_str());
+  const DrcReport drc = check_design_rules(package, result.final);
+  std::printf("  DRC           : %zu violating gaps, overflow %d "
+              "(gap capacity %d)\n",
+              drc.violations.size(), drc.total_overflow,
+              drc.min_gap_capacity);
+  const std::string out = args.get_string("out-assignment", "");
+  if (!out.empty()) {
+    save_assignment(package, result.final, out);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  const std::string report = args.get_string("report", "");
+  if (!report.empty()) {
+    save_flow_report(package, options, result, report);
+    std::printf("wrote %s\n", report.c_str());
+  }
+  return 0;
+}
+
+int cmd_route(const ArgParser& args) {
+  const Package package = load_input(args);
+  FlowOptions options = flow_options(args);
+  options.run_exchange = false;
+  // Either route a stored assignment or run the assignment step here.
+  PackageAssignment assignment;
+  const std::string stored = args.get_string("assignment", "");
+  if (!stored.empty()) {
+    assignment = load_assignment(stored, package);
+  } else {
+    assignment = CodesignFlow(options).run(package).final;
+  }
+  const PackageRoute route = MonotonicRouter().route(package, assignment);
+  std::printf("method %s: max density %d, flyline %.1f um, routed %.1f um\n",
+              std::string(to_string(options.method)).c_str(),
+              route.max_density, route.total_flyline_um,
+              route.total_routed_um);
+  const std::string package_svg = args.get_string("package-svg", "");
+  if (!package_svg.empty()) {
+    save_package_route_svg(package, route, package.name(), package_svg);
+    std::printf("wrote %s\n", package_svg.c_str());
+  }
+  const std::string prefix = args.get_string("svg-prefix", "");
+  if (!prefix.empty()) {
+    for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+      const std::string path = prefix + "_" +
+                               package.quadrant(qi).name() + ".svg";
+      save_quadrant_route_svg(
+          package.quadrant(qi), route.quadrants[static_cast<std::size_t>(qi)],
+          package.name() + " " + package.quadrant(qi).name(), path);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_spice(const ArgParser& args) {
+  const Package package = load_input(args);
+  const FlowOptions options = flow_options(args);
+  const FlowResult result = CodesignFlow(options).run(package);
+  PowerGrid grid(options.grid_spec);
+  const PadRing ring(package, grid.k());
+  grid.set_pads(ring.supply_nodes(result.final));
+  const std::string out = args.get_string("out", "power_mesh.sp");
+  save_spice_deck(grid, out, "fpkit " + package.name() + " power mesh");
+  std::printf("wrote %s (%d x %d mesh, %zu pads)\n", out.c_str(), grid.k(),
+              grid.k(), grid.pads().size());
+  return 0;
+}
+
+int cmd_ir(const ArgParser& args) {
+  const Package package = load_input(args);
+  const FlowOptions options = flow_options(args);
+  const FlowResult result = CodesignFlow(options).run(package);
+  std::printf("max IR-drop: %.2f mV (before exchange %.2f mV, %.2f%% "
+              "improvement)\n",
+              result.ir_final.max_drop_v * 1e3,
+              result.ir_initial.max_drop_v * 1e3,
+              result.ir_improvement_percent());
+  const std::string heatmap = args.get_string("heatmap", "");
+  if (!heatmap.empty()) {
+    PowerGrid grid(options.grid_spec);
+    const PadRing ring(package, grid.k());
+    grid.set_pads(ring.supply_nodes(result.final));
+    save_ir_heatmap_svg(grid, solve(grid), package.name(), heatmap);
+    std::printf("wrote %s\n", heatmap.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const ArgParser args(argc - 1, argv + 1);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "route") return cmd_route(args);
+    if (command == "ir") return cmd_ir(args);
+    if (command == "spice") return cmd_spice(args);
+    return usage();
+  } catch (const fp::Error& e) {
+    std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
