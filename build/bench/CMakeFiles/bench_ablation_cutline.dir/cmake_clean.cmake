@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cutline.dir/bench_ablation_cutline.cpp.o"
+  "CMakeFiles/bench_ablation_cutline.dir/bench_ablation_cutline.cpp.o.d"
+  "bench_ablation_cutline"
+  "bench_ablation_cutline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cutline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

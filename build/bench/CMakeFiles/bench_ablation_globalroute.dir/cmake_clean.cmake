@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_globalroute.dir/bench_ablation_globalroute.cpp.o"
+  "CMakeFiles/bench_ablation_globalroute.dir/bench_ablation_globalroute.cpp.o.d"
+  "bench_ablation_globalroute"
+  "bench_ablation_globalroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_globalroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_viaplan.dir/bench_ablation_viaplan.cpp.o"
+  "CMakeFiles/bench_ablation_viaplan.dir/bench_ablation_viaplan.cpp.o.d"
+  "bench_ablation_viaplan"
+  "bench_ablation_viaplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_viaplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drc_violations.dir/bench_drc_violations.cpp.o"
+  "CMakeFiles/bench_drc_violations.dir/bench_drc_violations.cpp.o.d"
+  "bench_drc_violations"
+  "bench_drc_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drc_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ifa_vs_dfa.dir/bench_fig13_ifa_vs_dfa.cpp.o"
+  "CMakeFiles/bench_fig13_ifa_vs_dfa.dir/bench_fig13_ifa_vs_dfa.cpp.o.d"
+  "bench_fig13_ifa_vs_dfa"
+  "bench_fig13_ifa_vs_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ifa_vs_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

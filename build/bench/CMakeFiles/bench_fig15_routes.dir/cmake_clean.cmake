@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_routes.dir/bench_fig15_routes.cpp.o"
+  "CMakeFiles/bench_fig15_routes.dir/bench_fig15_routes.cpp.o.d"
+  "bench_fig15_routes"
+  "bench_fig15_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_irdrop.dir/bench_fig6_irdrop.cpp.o"
+  "CMakeFiles/bench_fig6_irdrop.dir/bench_fig6_irdrop.cpp.o.d"
+  "bench_fig6_irdrop"
+  "bench_fig6_irdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_irdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flipchip_wirebond.dir/bench_flipchip_wirebond.cpp.o"
+  "CMakeFiles/bench_flipchip_wirebond.dir/bench_flipchip_wirebond.cpp.o.d"
+  "bench_flipchip_wirebond"
+  "bench_flipchip_wirebond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flipchip_wirebond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_exchange.dir/bench_table3_exchange.cpp.o"
+  "CMakeFiles/bench_table3_exchange.dir/bench_table3_exchange.cpp.o.d"
+  "bench_table3_exchange"
+  "bench_table3_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

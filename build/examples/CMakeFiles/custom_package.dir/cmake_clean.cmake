@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_package.dir/custom_package.cpp.o"
+  "CMakeFiles/custom_package.dir/custom_package.cpp.o.d"
+  "custom_package"
+  "custom_package.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdrop_codesign.dir/irdrop_codesign.cpp.o"
+  "CMakeFiles/irdrop_codesign.dir/irdrop_codesign.cpp.o.d"
+  "irdrop_codesign"
+  "irdrop_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdrop_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

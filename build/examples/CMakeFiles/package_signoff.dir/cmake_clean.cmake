@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/package_signoff.dir/package_signoff.cpp.o"
+  "CMakeFiles/package_signoff.dir/package_signoff.cpp.o.d"
+  "package_signoff"
+  "package_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/package_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

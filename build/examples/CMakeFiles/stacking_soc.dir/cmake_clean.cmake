@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacking_soc.dir/stacking_soc.cpp.o"
+  "CMakeFiles/stacking_soc.dir/stacking_soc.cpp.o.d"
+  "stacking_soc"
+  "stacking_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacking_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

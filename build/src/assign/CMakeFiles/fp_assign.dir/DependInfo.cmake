@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/assigner.cpp" "src/assign/CMakeFiles/fp_assign.dir/assigner.cpp.o" "gcc" "src/assign/CMakeFiles/fp_assign.dir/assigner.cpp.o.d"
+  "/root/repo/src/assign/dfa.cpp" "src/assign/CMakeFiles/fp_assign.dir/dfa.cpp.o" "gcc" "src/assign/CMakeFiles/fp_assign.dir/dfa.cpp.o.d"
+  "/root/repo/src/assign/ifa.cpp" "src/assign/CMakeFiles/fp_assign.dir/ifa.cpp.o" "gcc" "src/assign/CMakeFiles/fp_assign.dir/ifa.cpp.o.d"
+  "/root/repo/src/assign/random_assigner.cpp" "src/assign/CMakeFiles/fp_assign.dir/random_assigner.cpp.o" "gcc" "src/assign/CMakeFiles/fp_assign.dir/random_assigner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/package/CMakeFiles/fp_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/fp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

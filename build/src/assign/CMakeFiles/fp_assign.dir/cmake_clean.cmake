@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_assign.dir/assigner.cpp.o"
+  "CMakeFiles/fp_assign.dir/assigner.cpp.o.d"
+  "CMakeFiles/fp_assign.dir/dfa.cpp.o"
+  "CMakeFiles/fp_assign.dir/dfa.cpp.o.d"
+  "CMakeFiles/fp_assign.dir/ifa.cpp.o"
+  "CMakeFiles/fp_assign.dir/ifa.cpp.o.d"
+  "CMakeFiles/fp_assign.dir/random_assigner.cpp.o"
+  "CMakeFiles/fp_assign.dir/random_assigner.cpp.o.d"
+  "libfp_assign.a"
+  "libfp_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

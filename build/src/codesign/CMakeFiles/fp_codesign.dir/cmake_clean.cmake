@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_codesign.dir/experiment.cpp.o"
+  "CMakeFiles/fp_codesign.dir/experiment.cpp.o.d"
+  "CMakeFiles/fp_codesign.dir/flow.cpp.o"
+  "CMakeFiles/fp_codesign.dir/flow.cpp.o.d"
+  "CMakeFiles/fp_codesign.dir/report.cpp.o"
+  "CMakeFiles/fp_codesign.dir/report.cpp.o.d"
+  "libfp_codesign.a"
+  "libfp_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

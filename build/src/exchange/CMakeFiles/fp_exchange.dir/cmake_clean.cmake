@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_exchange.dir/annealer.cpp.o"
+  "CMakeFiles/fp_exchange.dir/annealer.cpp.o.d"
+  "CMakeFiles/fp_exchange.dir/exchange.cpp.o"
+  "CMakeFiles/fp_exchange.dir/exchange.cpp.o.d"
+  "CMakeFiles/fp_exchange.dir/greedy.cpp.o"
+  "CMakeFiles/fp_exchange.dir/greedy.cpp.o.d"
+  "CMakeFiles/fp_exchange.dir/increased_density.cpp.o"
+  "CMakeFiles/fp_exchange.dir/increased_density.cpp.o.d"
+  "CMakeFiles/fp_exchange.dir/incremental_cost.cpp.o"
+  "CMakeFiles/fp_exchange.dir/incremental_cost.cpp.o.d"
+  "libfp_exchange.a"
+  "libfp_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

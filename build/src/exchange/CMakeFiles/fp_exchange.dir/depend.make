@@ -1,0 +1,2 @@
+# Empty dependencies file for fp_exchange.
+# This may be replaced when dependencies are built.

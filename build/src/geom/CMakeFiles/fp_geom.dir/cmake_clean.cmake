@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_geom.dir/segment.cpp.o"
+  "CMakeFiles/fp_geom.dir/segment.cpp.o.d"
+  "libfp_geom.a"
+  "libfp_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/assignment_file.cpp" "src/io/CMakeFiles/fp_io.dir/assignment_file.cpp.o" "gcc" "src/io/CMakeFiles/fp_io.dir/assignment_file.cpp.o.d"
+  "/root/repo/src/io/circuit_file.cpp" "src/io/CMakeFiles/fp_io.dir/circuit_file.cpp.o" "gcc" "src/io/CMakeFiles/fp_io.dir/circuit_file.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/fp_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/fp_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/io/CMakeFiles/fp_io.dir/svg.cpp.o" "gcc" "src/io/CMakeFiles/fp_io.dir/svg.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/fp_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/fp_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/fp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/package/CMakeFiles/fp_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

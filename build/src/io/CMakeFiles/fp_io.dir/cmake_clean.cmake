@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_io.dir/assignment_file.cpp.o"
+  "CMakeFiles/fp_io.dir/assignment_file.cpp.o.d"
+  "CMakeFiles/fp_io.dir/circuit_file.cpp.o"
+  "CMakeFiles/fp_io.dir/circuit_file.cpp.o.d"
+  "CMakeFiles/fp_io.dir/csv.cpp.o"
+  "CMakeFiles/fp_io.dir/csv.cpp.o.d"
+  "CMakeFiles/fp_io.dir/svg.cpp.o"
+  "CMakeFiles/fp_io.dir/svg.cpp.o.d"
+  "CMakeFiles/fp_io.dir/table.cpp.o"
+  "CMakeFiles/fp_io.dir/table.cpp.o.d"
+  "libfp_io.a"
+  "libfp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/fp_netlist.dir/netlist.cpp.o.d"
+  "libfp_netlist.a"
+  "libfp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/package/assignment.cpp" "src/package/CMakeFiles/fp_package.dir/assignment.cpp.o" "gcc" "src/package/CMakeFiles/fp_package.dir/assignment.cpp.o.d"
+  "/root/repo/src/package/circuit_generator.cpp" "src/package/CMakeFiles/fp_package.dir/circuit_generator.cpp.o" "gcc" "src/package/CMakeFiles/fp_package.dir/circuit_generator.cpp.o.d"
+  "/root/repo/src/package/lint.cpp" "src/package/CMakeFiles/fp_package.dir/lint.cpp.o" "gcc" "src/package/CMakeFiles/fp_package.dir/lint.cpp.o.d"
+  "/root/repo/src/package/package.cpp" "src/package/CMakeFiles/fp_package.dir/package.cpp.o" "gcc" "src/package/CMakeFiles/fp_package.dir/package.cpp.o.d"
+  "/root/repo/src/package/quadrant.cpp" "src/package/CMakeFiles/fp_package.dir/quadrant.cpp.o" "gcc" "src/package/CMakeFiles/fp_package.dir/quadrant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/fp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

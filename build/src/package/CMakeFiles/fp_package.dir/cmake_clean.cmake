@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_package.dir/assignment.cpp.o"
+  "CMakeFiles/fp_package.dir/assignment.cpp.o.d"
+  "CMakeFiles/fp_package.dir/circuit_generator.cpp.o"
+  "CMakeFiles/fp_package.dir/circuit_generator.cpp.o.d"
+  "CMakeFiles/fp_package.dir/lint.cpp.o"
+  "CMakeFiles/fp_package.dir/lint.cpp.o.d"
+  "CMakeFiles/fp_package.dir/package.cpp.o"
+  "CMakeFiles/fp_package.dir/package.cpp.o.d"
+  "CMakeFiles/fp_package.dir/quadrant.cpp.o"
+  "CMakeFiles/fp_package.dir/quadrant.cpp.o.d"
+  "libfp_package.a"
+  "libfp_package.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/compact_model.cpp" "src/power/CMakeFiles/fp_power.dir/compact_model.cpp.o" "gcc" "src/power/CMakeFiles/fp_power.dir/compact_model.cpp.o.d"
+  "/root/repo/src/power/floorplan.cpp" "src/power/CMakeFiles/fp_power.dir/floorplan.cpp.o" "gcc" "src/power/CMakeFiles/fp_power.dir/floorplan.cpp.o.d"
+  "/root/repo/src/power/ir_analysis.cpp" "src/power/CMakeFiles/fp_power.dir/ir_analysis.cpp.o" "gcc" "src/power/CMakeFiles/fp_power.dir/ir_analysis.cpp.o.d"
+  "/root/repo/src/power/pad_ring.cpp" "src/power/CMakeFiles/fp_power.dir/pad_ring.cpp.o" "gcc" "src/power/CMakeFiles/fp_power.dir/pad_ring.cpp.o.d"
+  "/root/repo/src/power/power_grid.cpp" "src/power/CMakeFiles/fp_power.dir/power_grid.cpp.o" "gcc" "src/power/CMakeFiles/fp_power.dir/power_grid.cpp.o.d"
+  "/root/repo/src/power/solver.cpp" "src/power/CMakeFiles/fp_power.dir/solver.cpp.o" "gcc" "src/power/CMakeFiles/fp_power.dir/solver.cpp.o.d"
+  "/root/repo/src/power/spice_export.cpp" "src/power/CMakeFiles/fp_power.dir/spice_export.cpp.o" "gcc" "src/power/CMakeFiles/fp_power.dir/spice_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/fp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/package/CMakeFiles/fp_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

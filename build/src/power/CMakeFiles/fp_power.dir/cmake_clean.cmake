@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_power.dir/compact_model.cpp.o"
+  "CMakeFiles/fp_power.dir/compact_model.cpp.o.d"
+  "CMakeFiles/fp_power.dir/floorplan.cpp.o"
+  "CMakeFiles/fp_power.dir/floorplan.cpp.o.d"
+  "CMakeFiles/fp_power.dir/ir_analysis.cpp.o"
+  "CMakeFiles/fp_power.dir/ir_analysis.cpp.o.d"
+  "CMakeFiles/fp_power.dir/pad_ring.cpp.o"
+  "CMakeFiles/fp_power.dir/pad_ring.cpp.o.d"
+  "CMakeFiles/fp_power.dir/power_grid.cpp.o"
+  "CMakeFiles/fp_power.dir/power_grid.cpp.o.d"
+  "CMakeFiles/fp_power.dir/solver.cpp.o"
+  "CMakeFiles/fp_power.dir/solver.cpp.o.d"
+  "CMakeFiles/fp_power.dir/spice_export.cpp.o"
+  "CMakeFiles/fp_power.dir/spice_export.cpp.o.d"
+  "libfp_power.a"
+  "libfp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/cutline.cpp" "src/route/CMakeFiles/fp_route.dir/cutline.cpp.o" "gcc" "src/route/CMakeFiles/fp_route.dir/cutline.cpp.o.d"
+  "/root/repo/src/route/density.cpp" "src/route/CMakeFiles/fp_route.dir/density.cpp.o" "gcc" "src/route/CMakeFiles/fp_route.dir/density.cpp.o.d"
+  "/root/repo/src/route/design_rules.cpp" "src/route/CMakeFiles/fp_route.dir/design_rules.cpp.o" "gcc" "src/route/CMakeFiles/fp_route.dir/design_rules.cpp.o.d"
+  "/root/repo/src/route/global_router.cpp" "src/route/CMakeFiles/fp_route.dir/global_router.cpp.o" "gcc" "src/route/CMakeFiles/fp_route.dir/global_router.cpp.o.d"
+  "/root/repo/src/route/legality.cpp" "src/route/CMakeFiles/fp_route.dir/legality.cpp.o" "gcc" "src/route/CMakeFiles/fp_route.dir/legality.cpp.o.d"
+  "/root/repo/src/route/render.cpp" "src/route/CMakeFiles/fp_route.dir/render.cpp.o" "gcc" "src/route/CMakeFiles/fp_route.dir/render.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/route/CMakeFiles/fp_route.dir/router.cpp.o" "gcc" "src/route/CMakeFiles/fp_route.dir/router.cpp.o.d"
+  "/root/repo/src/route/via_plan.cpp" "src/route/CMakeFiles/fp_route.dir/via_plan.cpp.o" "gcc" "src/route/CMakeFiles/fp_route.dir/via_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/package/CMakeFiles/fp_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/fp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

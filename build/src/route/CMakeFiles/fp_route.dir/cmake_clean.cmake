@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_route.dir/cutline.cpp.o"
+  "CMakeFiles/fp_route.dir/cutline.cpp.o.d"
+  "CMakeFiles/fp_route.dir/density.cpp.o"
+  "CMakeFiles/fp_route.dir/density.cpp.o.d"
+  "CMakeFiles/fp_route.dir/design_rules.cpp.o"
+  "CMakeFiles/fp_route.dir/design_rules.cpp.o.d"
+  "CMakeFiles/fp_route.dir/global_router.cpp.o"
+  "CMakeFiles/fp_route.dir/global_router.cpp.o.d"
+  "CMakeFiles/fp_route.dir/legality.cpp.o"
+  "CMakeFiles/fp_route.dir/legality.cpp.o.d"
+  "CMakeFiles/fp_route.dir/render.cpp.o"
+  "CMakeFiles/fp_route.dir/render.cpp.o.d"
+  "CMakeFiles/fp_route.dir/router.cpp.o"
+  "CMakeFiles/fp_route.dir/router.cpp.o.d"
+  "CMakeFiles/fp_route.dir/via_plan.cpp.o"
+  "CMakeFiles/fp_route.dir/via_plan.cpp.o.d"
+  "libfp_route.a"
+  "libfp_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

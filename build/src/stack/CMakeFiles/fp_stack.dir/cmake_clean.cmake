@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_stack.dir/stacking.cpp.o"
+  "CMakeFiles/fp_stack.dir/stacking.cpp.o.d"
+  "libfp_stack.a"
+  "libfp_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

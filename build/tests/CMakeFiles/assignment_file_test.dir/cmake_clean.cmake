@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_file_test.dir/assignment_file_test.cpp.o"
+  "CMakeFiles/assignment_file_test.dir/assignment_file_test.cpp.o.d"
+  "assignment_file_test"
+  "assignment_file_test.pdb"
+  "assignment_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_model_test.dir/compact_model_test.cpp.o"
+  "CMakeFiles/compact_model_test.dir/compact_model_test.cpp.o.d"
+  "compact_model_test"
+  "compact_model_test.pdb"
+  "compact_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

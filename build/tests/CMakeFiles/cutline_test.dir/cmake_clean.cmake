@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cutline_test.dir/cutline_test.cpp.o"
+  "CMakeFiles/cutline_test.dir/cutline_test.cpp.o.d"
+  "cutline_test"
+  "cutline_test.pdb"
+  "cutline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cutline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

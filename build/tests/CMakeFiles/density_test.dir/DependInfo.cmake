@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/density_test.cpp" "tests/CMakeFiles/density_test.dir/density_test.cpp.o" "gcc" "tests/CMakeFiles/density_test.dir/density_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codesign/CMakeFiles/fp_codesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/fp_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/exchange/CMakeFiles/fp_exchange.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/fp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/fp_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/package/CMakeFiles/fp_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/fp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_rules_test.dir/design_rules_test.cpp.o"
+  "CMakeFiles/design_rules_test.dir/design_rules_test.cpp.o.d"
+  "design_rules_test"
+  "design_rules_test.pdb"
+  "design_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_cost_test.dir/incremental_cost_test.cpp.o"
+  "CMakeFiles/incremental_cost_test.dir/incremental_cost_test.cpp.o.d"
+  "incremental_cost_test"
+  "incremental_cost_test.pdb"
+  "incremental_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

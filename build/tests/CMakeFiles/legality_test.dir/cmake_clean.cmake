@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legality_test.dir/legality_test.cpp.o"
+  "CMakeFiles/legality_test.dir/legality_test.cpp.o.d"
+  "legality_test"
+  "legality_test.pdb"
+  "legality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

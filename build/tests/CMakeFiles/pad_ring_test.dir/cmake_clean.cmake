@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_ring_test.dir/pad_ring_test.cpp.o"
+  "CMakeFiles/pad_ring_test.dir/pad_ring_test.cpp.o.d"
+  "pad_ring_test"
+  "pad_ring_test.pdb"
+  "pad_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

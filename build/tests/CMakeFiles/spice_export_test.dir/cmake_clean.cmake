@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_export_test.dir/spice_export_test.cpp.o"
+  "CMakeFiles/spice_export_test.dir/spice_export_test.cpp.o.d"
+  "spice_export_test"
+  "spice_export_test.pdb"
+  "spice_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_plan_test.dir/via_plan_test.cpp.o"
+  "CMakeFiles/via_plan_test.dir/via_plan_test.cpp.o.d"
+  "via_plan_test"
+  "via_plan_test.pdb"
+  "via_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

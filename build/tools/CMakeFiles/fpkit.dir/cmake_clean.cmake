@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpkit.dir/fpkit_cli.cpp.o"
+  "CMakeFiles/fpkit.dir/fpkit_cli.cpp.o.d"
+  "fpkit"
+  "fpkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_generate]=] "/root/repo/build/tools/fpkit" "generate" "--table1" "1" "--tiers" "2" "--out" "cli_smoke.fp")
+set_tests_properties([=[cli_generate]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_info]=] "/root/repo/build/tools/fpkit" "info" "cli_smoke.fp")
+set_tests_properties([=[cli_info]=] PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_lint]=] "/root/repo/build/tools/fpkit" "info" "cli_smoke.fp" "--lint")
+set_tests_properties([=[cli_lint]=] PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_plan]=] "/root/repo/build/tools/fpkit" "plan" "cli_smoke.fp" "--mesh" "12" "--out-assignment" "cli_smoke.fpa" "--report" "cli_smoke.md")
+set_tests_properties([=[cli_plan]=] PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_route]=] "/root/repo/build/tools/fpkit" "route" "cli_smoke.fp" "--assignment" "cli_smoke.fpa")
+set_tests_properties([=[cli_route]=] PROPERTIES  DEPENDS "cli_plan" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_ir]=] "/root/repo/build/tools/fpkit" "ir" "cli_smoke.fp" "--mesh" "12")
+set_tests_properties([=[cli_ir]=] PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_spice]=] "/root/repo/build/tools/fpkit" "spice" "cli_smoke.fp" "--mesh" "10" "--out" "cli_smoke.sp")
+set_tests_properties([=[cli_spice]=] PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_bad_flag_fails]=] "/root/repo/build/tools/fpkit" "info" "/no/such/file.fp")
+set_tests_properties([=[cli_bad_flag_fails]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,0 +1,120 @@
+# fpkit circuit format v1
+circuit circuit1
+geometry 2.000000 0.025000 0.400000 0.025000
+net 0 VDD0 power 0
+net 1 N1 signal 0
+net 2 N2 signal 1
+net 3 N3 signal 0
+net 4 N4 signal 0
+net 5 N5 signal 1
+net 6 N6 signal 0
+net 7 VDD7 power 0
+net 8 N8 signal 1
+net 9 N9 signal 1
+net 10 VSS10 ground 0
+net 11 N11 signal 0
+net 12 N12 signal 1
+net 13 N13 signal 1
+net 14 N14 signal 0
+net 15 N15 signal 0
+net 16 VDD16 power 0
+net 17 N17 signal 0
+net 18 N18 signal 1
+net 19 N19 signal 0
+net 20 N20 signal 0
+net 21 VDD21 power 1
+net 22 VSS22 ground 1
+net 23 N23 signal 1
+net 24 N24 signal 1
+net 25 N25 signal 1
+net 26 N26 signal 1
+net 27 N27 signal 1
+net 28 VDD28 power 1
+net 29 N29 signal 0
+net 30 VSS30 ground 0
+net 31 N31 signal 0
+net 32 VDD32 power 1
+net 33 N33 signal 0
+net 34 N34 signal 1
+net 35 VSS35 ground 0
+net 36 N36 signal 0
+net 37 N37 signal 0
+net 38 VDD38 power 0
+net 39 N39 signal 1
+net 40 N40 signal 1
+net 41 VSS41 ground 0
+net 42 N42 signal 1
+net 43 N43 signal 1
+net 44 N44 signal 0
+net 45 N45 signal 1
+net 46 N46 signal 1
+net 47 N47 signal 0
+net 48 N48 signal 0
+net 49 N49 signal 1
+net 50 N50 signal 1
+net 51 N51 signal 0
+net 52 N52 signal 0
+net 53 N53 signal 1
+net 54 N54 signal 1
+net 55 N55 signal 1
+net 56 N56 signal 1
+net 57 VSS57 ground 1
+net 58 N58 signal 0
+net 59 VSS59 ground 1
+net 60 N60 signal 1
+net 61 N61 signal 1
+net 62 N62 signal 0
+net 63 N63 signal 0
+net 64 N64 signal 0
+net 65 N65 signal 0
+net 66 N66 signal 1
+net 67 VSS67 ground 0
+net 68 VDD68 power 1
+net 69 N69 signal 0
+net 70 VDD70 power 1
+net 71 VSS71 ground 0
+net 72 N72 signal 1
+net 73 N73 signal 0
+net 74 N74 signal 1
+net 75 VSS75 ground 1
+net 76 VDD76 power 0
+net 77 N77 signal 0
+net 78 N78 signal 0
+net 79 N79 signal 0
+net 80 N80 signal 1
+net 81 N81 signal 0
+net 82 N82 signal 1
+net 83 VDD83 power 0
+net 84 VSS84 ground 1
+net 85 N85 signal 1
+net 86 N86 signal 0
+net 87 N87 signal 1
+net 88 N88 signal 0
+net 89 VSS89 ground 1
+net 90 N90 signal 1
+net 91 N91 signal 1
+net 92 N92 signal 1
+net 93 VDD93 power 0
+net 94 N94 signal 0
+net 95 N95 signal 0
+quadrant bottom
+row 93 28 84 41 29 34 65 64 72
+row 49 86 10 81 70 44 0
+row 8 1 21 69 79
+row 18 25 36
+quadrant right
+row 78 17 19 37 14 92 83 31 48
+row 45 80 6 47 30 88 22
+row 56 58 3 85 27
+row 66 87 39
+quadrant top
+row 16 7 59 52 90 4 40 5 95
+row 11 9 51 91 35 75 26
+row 20 74 60 2 76
+row 24 89 77
+quadrant left
+row 32 68 63 42 94 43 73 13 50
+row 23 12 55 46 61 62 82
+row 57 33 53 38 71
+row 54 67 15
+end
