@@ -1,0 +1,207 @@
+#include "analysis/check.h"
+
+#include <algorithm>
+
+#include "analysis/rules.h"
+
+namespace fp {
+
+std::string_view to_string(CheckSeverity severity) {
+  return severity == CheckSeverity::Error ? "error" : "warning";
+}
+
+std::string_view to_string(CheckStage stage) {
+  switch (stage) {
+    case CheckStage::Package:
+      return "package";
+    case CheckStage::Assignment:
+      return "assignment";
+    case CheckStage::Route:
+      return "route";
+    case CheckStage::Power:
+      return "power";
+    case CheckStage::Stacking:
+      return "stacking";
+  }
+  return "unknown";
+}
+
+void CheckEmitter::emit(std::string message) const {
+  report_->findings.push_back(
+      CheckFinding{rule_->id(), rule_->severity(), std::move(message)});
+}
+
+std::size_t CheckReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const CheckFinding& finding) {
+                      return finding.severity == CheckSeverity::Error;
+                    }));
+}
+
+std::size_t CheckReport::warning_count() const {
+  return findings.size() - error_count();
+}
+
+bool CheckReport::has(std::string_view id) const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [id](const CheckFinding& finding) {
+                       return finding.rule == id;
+                     });
+}
+
+std::string CheckReport::to_string() const {
+  std::string out;
+  for (const CheckFinding& finding : findings) {
+    out += finding.rule;
+    out += ' ';
+    out += fp::to_string(finding.severity);
+    out += ": ";
+    out += finding.message;
+    out += '\n';
+  }
+  out += "check: " + std::to_string(rules_run) + " rules, " +
+         std::to_string(error_count()) + " error(s), " +
+         std::to_string(warning_count()) + " warning(s)\n";
+  return out;
+}
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += hex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CheckReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"rules_run\": " + std::to_string(rules_run) + ",\n";
+  out += "  \"errors\": " + std::to_string(error_count()) + ",\n";
+  out += "  \"warnings\": " + std::to_string(warning_count()) + ",\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const CheckFinding& finding = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rule\": \"" + std::string(finding.rule) +
+           "\", \"severity\": \"" +
+           std::string(fp::to_string(finding.severity)) +
+           "\", \"message\": \"" + json_escape(finding.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+std::vector<CheckRule> build_registry() {
+  std::vector<CheckRule> all;
+  for (const auto& table :
+       {rules::geometry(), rules::netlist(), rules::assignment(),
+        rules::route(), rules::power(), rules::stacking()}) {
+    all.insert(all.end(), table.begin(), table.end());
+  }
+  return all;
+}
+
+}  // namespace
+
+std::span<const CheckRule> check_rules() {
+  static const std::vector<CheckRule> registry = build_registry();
+  return registry;
+}
+
+const CheckRule* find_rule(std::string_view id) {
+  for (const CheckRule& rule : check_rules()) {
+    if (rule.id() == id) return &rule;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void require_stage_inputs(const CheckContext& context, CheckStage stage) {
+  require(context.package != nullptr, "run_checks: context.package not set");
+  if (stage != CheckStage::Package && stage != CheckStage::Stacking) {
+    require(context.assignment != nullptr,
+            "run_checks: stage needs context.assignment");
+  }
+}
+
+void run_stage(const CheckContext& context, CheckStage stage,
+               CheckReport& report) {
+  for (const CheckRule& rule : check_rules()) {
+    if (rule.stage() != stage) continue;
+    rule.run(context, report);
+    ++report.rules_run;
+  }
+}
+
+}  // namespace
+
+CheckReport run_checks(const CheckContext& context, CheckStage stage) {
+  require_stage_inputs(context, stage);
+  CheckReport report;
+  run_stage(context, stage, report);
+  return report;
+}
+
+CheckReport run_checks(const CheckContext& context) {
+  require(context.package != nullptr, "run_checks: context.package not set");
+  CheckReport report;
+  run_stage(context, CheckStage::Package, report);
+  run_stage(context, CheckStage::Stacking, report);
+  if (context.assignment != nullptr) {
+    run_stage(context, CheckStage::Assignment, report);
+    run_stage(context, CheckStage::Route, report);
+    if (!context.package->netlist().supply_nets().empty()) {
+      run_stage(context, CheckStage::Power, report);
+    }
+  }
+  return report;
+}
+
+CheckFailure::CheckFailure(std::string what, CheckReport report)
+    : Error(what), report_(std::move(report)) {}
+
+void check_or_throw(const CheckContext& context, CheckStage stage) {
+  CheckReport report = run_checks(context, stage);
+  if (report.passed()) return;
+  std::string what = "check failed at stage '" +
+                     std::string(to_string(stage)) + "':";
+  for (const CheckFinding& finding : report.findings) {
+    if (finding.severity != CheckSeverity::Error) continue;
+    what += "\n  " + std::string(finding.rule) + ": " + finding.message;
+  }
+  throw CheckFailure(std::move(what), std::move(report));
+}
+
+}  // namespace fp

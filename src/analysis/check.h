@@ -1,0 +1,169 @@
+// fpkit's pipeline-wide design-rule static analyzer ("fpkit check").
+//
+// The co-design flow only produces meaningful numbers when every
+// intermediate artifact -- package geometry, netlist, finger/pad
+// assignment, routes, power mesh, stacking tiers -- satisfies invariants
+// that used to live in scattered asserts and the small package lint pass.
+// This module makes them first-class: every invariant is a *rule* with a
+// stable ID ("GEOM-002", "ROUTE-004", ...), a severity, a one-line
+// summary, and a run function that inspects one pipeline stage through a
+// CheckContext. The registry is the single source of truth: the `fpkit
+// check` subcommand, the flow's debug-build self-checks, the docs
+// (docs/CHECKS.md) and the test fixtures all enumerate it.
+//
+// Severity semantics follow EDA sign-off practice: an Error means a
+// downstream stage would compute garbage (or a solver would diverge); a
+// Warning means the design is legal but suspicious enough that a human
+// should look before trusting Table-2/3 style results.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "package/assignment.h"
+#include "package/package.h"
+#include "power/power_grid.h"
+#include "power/solver.h"
+#include "route/design_rules.h"
+#include "route/density.h"
+#include "route/router.h"
+#include "route/via_plan.h"
+#include "stack/stacking.h"
+#include "util/error.h"
+
+namespace fp {
+
+enum class CheckSeverity { Warning, Error };
+
+[[nodiscard]] std::string_view to_string(CheckSeverity severity);
+
+/// Pipeline stage a rule inspects. Package-stage rules need only the
+/// package; the other stages also need an assignment (and use whatever
+/// optional artifacts the context carries).
+enum class CheckStage { Package, Assignment, Route, Power, Stacking };
+
+[[nodiscard]] std::string_view to_string(CheckStage stage);
+
+/// Everything a rule may inspect. `package` is mandatory; the remaining
+/// pointers are optional artifacts -- a rule that cross-validates an
+/// artifact silently passes when it is absent.
+struct CheckContext {
+  const Package* package = nullptr;
+  /// Required by the Assignment/Route/Power/Stacking stages.
+  const PackageAssignment* assignment = nullptr;
+  /// Materialised routes to cross-validate against a fresh recount.
+  const PackageRoute* route = nullptr;
+  /// Explicit via plan to validate (the default bottom-left plan is
+  /// checked implicitly through the density recount).
+  const PackageViaPlan* via_plan = nullptr;
+  CrossingStrategy strategy = CrossingStrategy::Balanced;
+  DrcRules drc;
+  PowerGridSpec grid_spec;
+  SolverOptions solver;
+  StackingSpec stacking;
+};
+
+struct CheckFinding {
+  std::string_view rule;  // registry id, e.g. "GEOM-002"
+  CheckSeverity severity = CheckSeverity::Warning;
+  std::string message;
+};
+
+struct CheckReport {
+  std::vector<CheckFinding> findings;
+  /// Rules actually executed (stage inputs present), for report headers.
+  int rules_run = 0;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  /// True when no Error-severity finding exists (warnings allowed).
+  [[nodiscard]] bool passed() const { return error_count() == 0; }
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+  /// True if any finding of rule `id` exists.
+  [[nodiscard]] bool has(std::string_view id) const;
+
+  /// "GEOM-002 error: ..." lines, then a one-line summary.
+  [[nodiscard]] std::string to_string() const;
+  /// Machine-readable report: {"errors": N, "warnings": N, "findings":
+  /// [{"rule": ..., "severity": ..., "message": ...}, ...]}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class CheckRule;
+
+/// Appends findings for one rule; handed to the rule's run function so
+/// rules never spell their own id/severity twice.
+class CheckEmitter {
+ public:
+  CheckEmitter(const CheckRule& rule, CheckReport& report)
+      : rule_(&rule), report_(&report) {}
+  void emit(std::string message) const;
+
+ private:
+  const CheckRule* rule_;
+  CheckReport* report_;
+};
+
+class CheckRule {
+ public:
+  using RunFn = void (*)(const CheckContext&, const CheckEmitter&);
+
+  constexpr CheckRule(std::string_view id, CheckStage stage,
+                      CheckSeverity severity, std::string_view summary,
+                      RunFn run_fn)
+      : id_(id), stage_(stage), severity_(severity), summary_(summary),
+        run_(run_fn) {}
+
+  [[nodiscard]] std::string_view id() const { return id_; }
+  [[nodiscard]] CheckStage stage() const { return stage_; }
+  [[nodiscard]] CheckSeverity severity() const { return severity_; }
+  [[nodiscard]] std::string_view summary() const { return summary_; }
+  void run(const CheckContext& context, CheckReport& report) const {
+    run_(context, CheckEmitter(*this, report));
+  }
+
+ private:
+  std::string_view id_;
+  CheckStage stage_;
+  CheckSeverity severity_;
+  std::string_view summary_;
+  RunFn run_;
+};
+
+/// The full registry, ordered by stage then id. Stable across a build;
+/// docs and tests iterate it.
+[[nodiscard]] std::span<const CheckRule> check_rules();
+
+/// Rule by id, or nullptr.
+[[nodiscard]] const CheckRule* find_rule(std::string_view id);
+
+/// Runs every rule of `stage`. Throws InvalidArgument when the context
+/// lacks the stage's required inputs (package; plus assignment for the
+/// non-Package stages).
+[[nodiscard]] CheckReport run_checks(const CheckContext& context,
+                                     CheckStage stage);
+
+/// Runs every stage whose required inputs are present: Package and
+/// Stacking always, Assignment/Route when an assignment is set, Power
+/// when additionally the netlist carries supply nets (a supply-less
+/// design has no power intent to check).
+[[nodiscard]] CheckReport run_checks(const CheckContext& context);
+
+/// Thrown by check_or_throw; carries the offending report.
+class CheckFailure : public Error {
+ public:
+  CheckFailure(std::string what, CheckReport report);
+  [[nodiscard]] const CheckReport& report() const { return report_; }
+
+ private:
+  CheckReport report_;
+};
+
+/// Gate between pipeline stages: runs `stage` and throws CheckFailure
+/// listing the rule ids when any Error-severity finding fires. The
+/// codesign flow calls this between its steps in debug builds.
+void check_or_throw(const CheckContext& context, CheckStage stage);
+
+}  // namespace fp

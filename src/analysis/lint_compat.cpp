@@ -1,0 +1,54 @@
+// Back-compat implementation of the deprecated package lint pass on top
+// of the rule registry: lint_package is now exactly the Package and
+// Stacking stages of `fpkit check`, re-badged into the old LintReport
+// shape (without rule ids).
+#include <algorithm>
+
+#include "analysis/check.h"
+#include "package/lint.h"
+
+namespace fp {
+
+std::size_t LintReport::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const LintFinding& finding) {
+                      return finding.severity == LintSeverity::Error;
+                    }));
+}
+
+std::string LintReport::to_string() const {
+  if (findings.empty()) return "lint: clean\n";
+  std::string out;
+  for (const LintFinding& finding : findings) {
+    out += finding.severity == LintSeverity::Error ? "error: " : "warning: ";
+    out += finding.message;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void absorb(const CheckReport& checks, LintReport& lint) {
+  for (const CheckFinding& finding : checks.findings) {
+    lint.findings.push_back(
+        LintFinding{finding.severity == CheckSeverity::Error
+                        ? LintSeverity::Error
+                        : LintSeverity::Warning,
+                    finding.message});
+  }
+}
+
+}  // namespace
+
+LintReport lint_package(const Package& package) {
+  CheckContext context;
+  context.package = &package;
+  LintReport report;
+  absorb(run_checks(context, CheckStage::Package), report);
+  absorb(run_checks(context, CheckStage::Stacking), report);
+  return report;
+}
+
+}  // namespace fp

@@ -1,0 +1,26 @@
+// Internal: per-stage rule tables assembled into the public registry by
+// check.cpp. Each rules_*.cpp owns one table of static-storage CheckRule
+// objects so rule ids/summaries live next to their run functions.
+#pragma once
+
+#include <span>
+
+#include "analysis/check.h"
+
+namespace fp::rules {
+
+/// True when the context's assignment matches the package shape, is a
+/// permutation per quadrant, and is monotonically legal -- the
+/// precondition of every recount-style rule (DensityMap and the routers
+/// throw on illegal assignments, and the ASSIGN-* rules already report
+/// them).
+[[nodiscard]] bool assignment_is_legal(const CheckContext& context);
+
+[[nodiscard]] std::span<const CheckRule> geometry();
+[[nodiscard]] std::span<const CheckRule> netlist();
+[[nodiscard]] std::span<const CheckRule> assignment();
+[[nodiscard]] std::span<const CheckRule> route();
+[[nodiscard]] std::span<const CheckRule> power();
+[[nodiscard]] std::span<const CheckRule> stacking();
+
+}  // namespace fp::rules

@@ -1,0 +1,104 @@
+// POWER-*: well-posedness of the Eq.-(1) power-mesh analysis -- Dirichlet
+// pads present, a spec whose stamp stays symmetric positive definite
+// (diagonally dominant with at least one pinned node), sane solver
+// options, and a mesh fine enough to resolve the supply pads.
+#include <string>
+#include <unordered_set>
+
+#include "analysis/rules.h"
+#include "power/pad_ring.h"
+
+namespace fp::rules {
+namespace {
+
+void power_pads_present(const CheckContext& context,
+                        const CheckEmitter& emit) {
+  if (!assignment_is_legal(context)) return;
+  const PadRing ring(*context.package, context.grid_spec.nodes_per_side);
+  if (ring.supply_nodes(*context.assignment).empty()) {
+    emit.emit("no Dirichlet pad nodes on the power mesh: Eq. (1) is "
+              "singular and no solver can run");
+  }
+}
+
+void power_spec_posedness(const CheckContext& context,
+                          const CheckEmitter& emit) {
+  const PowerGridSpec& spec = context.grid_spec;
+  if (spec.nodes_per_side < 2) {
+    emit.emit("power mesh needs at least 2 nodes per side, got " +
+              std::to_string(spec.nodes_per_side));
+  }
+  if (spec.sheet_res_x <= 0.0 || spec.sheet_res_y <= 0.0) {
+    emit.emit("non-positive sheet resistance: link conductances flip sign "
+              "and the stamp loses symmetric positive definiteness "
+              "(diagonal dominance fails), so CG is ill-posed");
+  }
+  if (spec.vdd <= 0.0) {
+    emit.emit("vdd must be positive, got " + std::to_string(spec.vdd));
+  }
+  if (spec.total_current_a < 0.0) {
+    emit.emit("negative total load current " +
+              std::to_string(spec.total_current_a) + " A");
+  }
+}
+
+void power_solver_options(const CheckContext& context,
+                          const CheckEmitter& emit) {
+  const SolverOptions& solver = context.solver;
+  if (solver.tolerance <= 0.0 || solver.tolerance >= 1.0) {
+    emit.emit("solver tolerance " + std::to_string(solver.tolerance) +
+              " outside (0, 1)");
+  }
+  if (solver.max_iterations < 1) {
+    emit.emit("solver max_iterations must be >= 1, got " +
+              std::to_string(solver.max_iterations));
+  }
+  if (solver.kind == SolverKind::Sor &&
+      (solver.sor_omega <= 0.0 || solver.sor_omega >= 2.0)) {
+    emit.emit("SOR omega " + std::to_string(solver.sor_omega) +
+              " outside (0, 2): the relaxation diverges");
+  }
+}
+
+void power_pad_collapse(const CheckContext& context,
+                        const CheckEmitter& emit) {
+  if (!assignment_is_legal(context)) return;
+  if (context.grid_spec.nodes_per_side < 2) return;  // POWER-002's finding
+  const PadRing ring(*context.package, context.grid_spec.nodes_per_side);
+  const std::vector<int> slots = ring.supply_slots(*context.assignment);
+  if (slots.size() < 2) return;
+  std::unordered_set<long long> unique_nodes;
+  for (const int slot : slots) {
+    const IPoint node = ring.node_of_slot(slot);
+    unique_nodes.insert(static_cast<long long>(node.x) << 32 |
+                        static_cast<long long>(node.y));
+  }
+  if (2 * unique_nodes.size() < slots.size()) {
+    emit.emit("mesh with " + std::to_string(context.grid_spec.nodes_per_side) +
+              " nodes per side collapses " + std::to_string(slots.size()) +
+              " supply pads onto " + std::to_string(unique_nodes.size()) +
+              " boundary nodes: IR-drop cannot distinguish the pad "
+              "placements being optimised");
+  }
+}
+
+constexpr CheckRule kRules[] = {
+    {"POWER-001", CheckStage::Power, CheckSeverity::Error,
+     "the power mesh has at least one Dirichlet pad node",
+     power_pads_present},
+    {"POWER-002", CheckStage::Power, CheckSeverity::Error,
+     "the grid spec keeps the stamp symmetric positive definite",
+     power_spec_posedness},
+    {"POWER-003", CheckStage::Power, CheckSeverity::Error,
+     "solver options are within their convergent ranges",
+     power_solver_options},
+    {"POWER-004", CheckStage::Power, CheckSeverity::Warning,
+     "the mesh is fine enough to resolve distinct supply pads",
+     power_pad_collapse},
+};
+
+}  // namespace
+
+std::span<const CheckRule> power() { return kRules; }
+
+}  // namespace fp::rules

@@ -1,0 +1,216 @@
+// ROUTE-*: routing design rules and artifact cross-validation -- gap
+// overflow, finger spacing, segment overlap in materialised routes, the
+// crossing-count agreement between the density estimator and the global
+// router's independent recount, via-plan legality, and cut-line
+// congestion between neighbouring quadrants.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "route/cutline.h"
+#include "route/global_router.h"
+
+namespace fp::rules {
+namespace {
+
+void route_gap_overflow(const CheckContext& context,
+                        const CheckEmitter& emit) {
+  if (!assignment_is_legal(context)) return;  // ASSIGN-* findings
+  const DrcReport drc = check_design_rules(*context.package,
+                                           *context.assignment, context.drc,
+                                           context.strategy);
+  for (const GapViolation& v : drc.violations) {
+    emit.emit("quadrant '" +
+              context.package->quadrant(v.quadrant).name() + "' row " +
+              std::to_string(v.row) + " gap " + std::to_string(v.gap) +
+              ": " + std::to_string(v.load) + " wires exceed the gap "
+              "capacity of " + std::to_string(v.capacity));
+  }
+}
+
+void route_finger_spacing(const CheckContext& context,
+                          const CheckEmitter& emit) {
+  const PackageGeometry& g = context.package->geometry();
+  if (g.finger_space_um < context.drc.wire_space_um) {
+    emit.emit("finger space " + std::to_string(g.finger_space_um) +
+              " um is below the layer-1 wire space " +
+              std::to_string(context.drc.wire_space_um) +
+              " um: escape segments of adjacent fingers violate spacing");
+  }
+}
+
+/// Two same-layer segments of different nets that overlap collinearly for
+/// a positive length. The monotone router never produces these; a
+/// materialised route carrying one was corrupted (or hand-edited) after
+/// routing.
+void route_segment_overlap(const CheckContext& context,
+                           const CheckEmitter& emit) {
+  if (context.route == nullptr) return;
+  const PackageRoute& route = *context.route;
+  constexpr double kEps = 1e-6;  // um; below any pitch in the paper
+  for (std::size_t qi = 0; qi < route.quadrants.size(); ++qi) {
+    const QuadrantRoute& qr = route.quadrants[qi];
+    // Positive-length segments per net. Abutting endpoints are fine; only
+    // a collinear overlap of positive length is a short.
+    struct Segment {
+      std::size_t net_index;
+      Point a, b;
+      double len;
+    };
+    std::vector<Segment> segments;
+    for (std::size_t ni = 0; ni < qr.nets.size(); ++ni) {
+      const RoutedNet& rn = qr.nets[ni];
+      for (std::size_t p = 1; p < rn.path.size(); ++p) {
+        const Point a = rn.path[p - 1];
+        const Point b = rn.path[p];
+        const double len = euclidean(a, b);
+        if (len <= kEps) continue;
+        segments.push_back(Segment{ni, a, b, len});
+      }
+    }
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const Segment& s = segments[i];
+      const double ux = (s.b.x - s.a.x) / s.len;  // unit direction
+      const double uy = (s.b.y - s.a.y) / s.len;
+      for (std::size_t j = i + 1; j < segments.size(); ++j) {
+        const Segment& t = segments[j];
+        if (s.net_index == t.net_index) continue;
+        // Collinear iff both endpoints of t sit on s's carrier line.
+        const double da =
+            std::abs(ux * (t.a.y - s.a.y) - uy * (t.a.x - s.a.x));
+        const double db =
+            std::abs(ux * (t.b.y - s.a.y) - uy * (t.b.x - s.a.x));
+        if (da > kEps || db > kEps) continue;
+        // Parametrise both along s's direction and intersect the spans.
+        const double ta = ux * (t.a.x - s.a.x) + uy * (t.a.y - s.a.y);
+        const double tb = ux * (t.b.x - s.a.x) + uy * (t.b.y - s.a.y);
+        const double lo = std::max(0.0, std::min(ta, tb));
+        const double hi = std::min(s.len, std::max(ta, tb));
+        if (hi - lo > kEps) {
+          emit.emit("quadrant '" +
+                    context.package->quadrant(static_cast<int>(qi)).name() +
+                    "': nets of fingers " +
+                    std::to_string(qr.nets[s.net_index].finger) + " and " +
+                    std::to_string(qr.nets[t.net_index].finger) +
+                    " overlap on a collinear segment near (" +
+                    std::to_string(s.a.x) + ", " + std::to_string(s.a.y) +
+                    ") um for " + std::to_string(hi - lo) +
+                    " um (segment overlap)");
+          return;
+        }
+      }
+    }
+  }
+}
+
+void route_crossing_recount(const CheckContext& context,
+                            const CheckEmitter& emit) {
+  if (!assignment_is_legal(context)) return;
+  const Package& package = *context.package;
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    const Quadrant& q = package.quadrant(qi);
+    const QuadrantAssignment& qa =
+        context.assignment->quadrants[static_cast<std::size_t>(qi)];
+    const DensityMap density(q, qa, context.strategy);
+
+    // Independent recount: the global router evaluates the paper's fixed
+    // configuration with its own crossing model; the per-row totals must
+    // agree with the density estimator.
+    const GlobalCongestion recount = GlobalRouter().evaluate(
+        q, qa, GlobalRouter::fixed_config(q, qa));
+    long long recount_total = 0;
+    for (const auto& row : recount.layer1) {
+      for (const int load : row) recount_total += load;
+    }
+    if (recount_total != density.total_crossings()) {
+      emit.emit("quadrant '" + q.name() + "': density map counts " +
+                std::to_string(density.total_crossings()) +
+                " crossings but the global router recounts " +
+                std::to_string(recount_total));
+    }
+
+    // Artifact agreement: a materialised route must match a fresh recount.
+    if (context.route != nullptr &&
+        static_cast<int>(context.route->quadrants.size()) ==
+            package.quadrant_count()) {
+      const QuadrantRoute& qr =
+          context.route->quadrants[static_cast<std::size_t>(qi)];
+      if (qr.max_density != density.max_density()) {
+        emit.emit("quadrant '" + q.name() + "': route records max density " +
+                  std::to_string(qr.max_density) + " but a recount gives " +
+                  std::to_string(density.max_density()));
+      }
+    }
+  }
+}
+
+void route_via_plan(const CheckContext& context, const CheckEmitter& emit) {
+  if (context.via_plan == nullptr) return;
+  const Package& package = *context.package;
+  if (static_cast<int>(context.via_plan->quadrants.size()) !=
+      package.quadrant_count()) {
+    emit.emit("via plan has " +
+              std::to_string(context.via_plan->quadrants.size()) +
+              " quadrants but the package has " +
+              std::to_string(package.quadrant_count()));
+    return;
+  }
+  for (int qi = 0; qi < package.quadrant_count(); ++qi) {
+    const Quadrant& q = package.quadrant(qi);
+    if (const auto problem = validate_via_plan(
+            q, context.via_plan->quadrants[static_cast<std::size_t>(qi)])) {
+      emit.emit("quadrant '" + q.name() + "': " + *problem);
+    }
+  }
+}
+
+void route_cut_line(const CheckContext& context, const CheckEmitter& emit) {
+  if (!assignment_is_legal(context)) return;
+  const Package& package = *context.package;
+  if (package.quadrant_count() < 2) return;
+  const CutLineReport cut =
+      analyze_cut_lines(package, *context.assignment, context.strategy);
+  for (std::size_t b = 0; b < cut.boundary_max.size(); ++b) {
+    const int capacity =
+        gap_capacity(package.quadrant(static_cast<int>(b)), context.drc);
+    if (cut.boundary_max[b] > capacity) {
+      emit.emit("cut-line between quadrant '" +
+                package.quadrant(static_cast<int>(b)).name() + "' and '" +
+                package.quadrant(static_cast<int>((b + 1) %
+                                 cut.boundary_max.size())).name() +
+                "' carries " + std::to_string(cut.boundary_max[b]) +
+                " combined crossings, above one quadrant's gap capacity " +
+                std::to_string(capacity));
+    }
+  }
+}
+
+constexpr CheckRule kRules[] = {
+    {"ROUTE-001", CheckStage::Route, CheckSeverity::Error,
+     "no via-slot gap's crossing load exceeds its wire capacity",
+     route_gap_overflow},
+    {"ROUTE-002", CheckStage::Route, CheckSeverity::Warning,
+     "finger spacing respects the layer-1 wire spacing",
+     route_finger_spacing},
+    {"ROUTE-003", CheckStage::Route, CheckSeverity::Error,
+     "no two routed nets overlap on a shared segment",
+     route_segment_overlap},
+    {"ROUTE-004", CheckStage::Route, CheckSeverity::Error,
+     "density-map crossings agree with the global router's recount (and "
+     "any materialised route)",
+     route_crossing_recount},
+    {"ROUTE-005", CheckStage::Route, CheckSeverity::Error,
+     "an explicit via plan is legal for every quadrant", route_via_plan},
+    {"ROUTE-006", CheckStage::Route, CheckSeverity::Warning,
+     "combined cut-line congestion stays within one quadrant's gap "
+     "capacity",
+     route_cut_line},
+};
+
+}  // namespace
+
+std::span<const CheckRule> route() { return kRules; }
+
+}  // namespace fp::rules

@@ -1,0 +1,63 @@
+// STACK-*: stacking-IC (multi-tier) consistency -- balanced tier
+// populations, a physically meaningful stacking spec, and a tier count
+// the pad ring can actually interleave.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+
+namespace fp::rules {
+namespace {
+
+void stack_tier_balance(const CheckContext& context,
+                        const CheckEmitter& emit) {
+  const Netlist& netlist = context.package->netlist();
+  const int tiers = netlist.tier_count();
+  if (tiers <= 1) return;
+  std::vector<int> members(static_cast<std::size_t>(tiers), 0);
+  for (const Net& net : netlist.nets()) {
+    ++members[static_cast<std::size_t>(net.tier)];
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(members.begin(), members.end());
+  if (*min_it > 0 && *max_it > 2 * *min_it) {
+    emit.emit("tier populations are unbalanced by more than 2x (" +
+              std::to_string(*min_it) + " vs " + std::to_string(*max_it) +
+              " nets): omega cannot reach 0");
+  }
+}
+
+void stack_spec(const CheckContext& context, const CheckEmitter& emit) {
+  const StackingSpec& spec = context.stacking;
+  if (spec.tier_inset_um < 0.0 || spec.tier_height_um < 0.0 ||
+      spec.die_gap_um < 0.0) {
+    emit.emit("stacking spec has a negative dimension: bonding-wire "
+              "lengths would be meaningless");
+  }
+}
+
+void stack_tier_count(const CheckContext& context, const CheckEmitter& emit) {
+  const int tiers = context.package->netlist().tier_count();
+  if (tiers > 1 && tiers > context.package->finger_count()) {
+    emit.emit(std::to_string(tiers) + " tiers but only " +
+              std::to_string(context.package->finger_count()) +
+              " finger/pads: a ring group can never touch every tier, so "
+              "omega's floor is unreachable");
+  }
+}
+
+constexpr CheckRule kRules[] = {
+    {"STACK-001", CheckStage::Stacking, CheckSeverity::Warning,
+     "tier populations are balanced within 2x", stack_tier_balance},
+    {"STACK-002", CheckStage::Stacking, CheckSeverity::Error,
+     "the stacking spec dimensions are non-negative", stack_spec},
+    {"STACK-003", CheckStage::Stacking, CheckSeverity::Warning,
+     "the tier count does not exceed the finger count", stack_tier_count},
+};
+
+}  // namespace
+
+std::span<const CheckRule> stacking() { return kRules; }
+
+}  // namespace fp::rules

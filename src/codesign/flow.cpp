@@ -1,5 +1,6 @@
 #include "codesign/flow.h"
 
+#include "analysis/check.h"
 #include "assign/dfa.h"
 #include "assign/ifa.h"
 #include "assign/random_assigner.h"
@@ -39,6 +40,20 @@ FlowResult CodesignFlow::run(const Package& package) const {
   const Timer timer;
   FlowResult result;
 
+  // Debug-build stage gates: validate the package before planning and the
+  // assignment after each step, so a corrupt artifact aborts loudly at
+  // the stage that produced it instead of skewing downstream metrics.
+  CheckContext check_context;
+  check_context.package = &package;
+  check_context.strategy = options_.routing;
+  check_context.grid_spec = options_.grid_spec;
+  check_context.solver = options_.solver;
+  check_context.stacking = options_.stacking;
+  if (options_.self_check) {
+    check_or_throw(check_context, CheckStage::Package);
+    check_or_throw(check_context, CheckStage::Stacking);
+  }
+
   // --- step 1: congestion-driven assignment ------------------------------
   switch (options_.method) {
     case AssignmentMethod::Random:
@@ -50,6 +65,10 @@ FlowResult CodesignFlow::run(const Package& package) const {
     case AssignmentMethod::Dfa:
       result.initial = DfaAssigner(options_.dfa_cut_line_n).assign(package);
       break;
+  }
+  if (options_.self_check) {
+    check_context.assignment = &result.initial;
+    check_or_throw(check_context, CheckStage::Assignment);
   }
   result.max_density_initial =
       max_density(package, result.initial, options_.routing);
@@ -74,6 +93,10 @@ FlowResult CodesignFlow::run(const Package& package) const {
     result.anneal = exchanged.anneal;
   } else {
     result.final = result.initial;
+  }
+  if (options_.self_check) {
+    check_context.assignment = &result.final;
+    check_or_throw(check_context, CheckStage::Assignment);
   }
 
   result.max_density_final =

@@ -37,6 +37,17 @@ struct FlowOptions {
   SolverOptions solver;
   StackingSpec stacking;
   CrossingStrategy routing = CrossingStrategy::Balanced;
+  /// Run the static analyzer (analysis/check.h) between flow stages and
+  /// throw CheckFailure on any Error-severity finding: the package is
+  /// checked on entry and the assignment after each step. On by default
+  /// in debug builds, off in release builds (the checks re-derive density
+  /// maps and cost time on hot paths).
+  bool self_check =
+#ifndef NDEBUG
+      true;
+#else
+      false;
+#endif
 };
 
 struct FlowResult {

@@ -1,9 +1,10 @@
-// Package lint: sanity diagnostics a user wants before running the flow
-// on a hand-written circuit. Unlike the hard constructor checks (which
-// reject inconsistent packages outright), lint reports *suspicious but
-// legal* properties: geometry that cannot be manufactured, bump rows that
-// grow toward the die, supply-starved quadrants, unbalanced tiers.
-// Surfaced by `fpkit info --lint`.
+// DEPRECATED package lint shim. The lint rules were absorbed into the
+// pipeline-wide static analyzer (analysis/check.h, `fpkit check`), which
+// adds stable rule ids, assignment/route/power/stacking stages, and JSON
+// output. lint_package now simply runs the analyzer's Package and
+// Stacking stages and re-badges the findings; new code should call
+// run_checks directly. Kept for `fpkit info --lint` and existing users;
+// see docs/CHECKS.md.
 #pragma once
 
 #include <string>

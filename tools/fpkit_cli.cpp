@@ -6,11 +6,17 @@
 //                  [--mesh K] [--lambda L --rho R --phi P] [--seed S]
 //   fpkit route    <circuit.fp> [--method ...] [--svg-prefix out]
 //   fpkit ir       <circuit.fp> [--method ...] [--mesh K] [--heatmap f.svg]
+//   fpkit check    <circuit.fp> [--assignment a.fpa] [--method ...]
+//                  [--json] [--out report.json] [--strict] [--list-rules]
 //
-// Exit code 0 on success; errors print to stderr and return 1.
+// Exit code 0 on success; errors print to stderr and return 1. `check`
+// exits 1 when any Error-severity rule fires (with --strict, warnings
+// fail too).
 #include <cstdio>
+#include <fstream>
 #include <string>
 
+#include "analysis/check.h"
 #include "assign/dfa.h"
 #include "assign/ifa.h"
 #include "assign/random_assigner.h"
@@ -46,7 +52,11 @@ int usage() {
                "  ir       <circuit.fp> [--method ...] [--mesh K] "
                "[--heatmap f.svg]\n"
                "  spice    <circuit.fp> [--method ...] [--mesh K] "
-               "[--out deck.sp]\n");
+               "[--out deck.sp]\n"
+               "  check    <circuit.fp> [--assignment a.fpa] [--method ...]"
+               " [--mesh K]\n"
+               "           [--json] [--out report.json] [--strict]"
+               " [--list-rules]\n");
   return 1;
 }
 
@@ -82,7 +92,8 @@ int cmd_generate(const ArgParser& args) {
   const int table1 = static_cast<int>(args.get_int("table1", 1));
   CircuitSpec spec = CircuitGenerator::table1(table1 - 1);
   spec.tier_count = static_cast<int>(args.get_int("tiers", 1));
-  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", spec.seed));
+  spec.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(spec.seed)));
   spec.supply_fraction = args.get_double("supply", spec.supply_fraction);
   const std::string out = args.get_string("out", "");
   require(!out.empty(), "generate: --out <file.fp> is required");
@@ -213,6 +224,73 @@ int cmd_ir(const ArgParser& args) {
   return 0;
 }
 
+int cmd_check(const ArgParser& args) {
+  if (args.has("list-rules")) {
+    for (const CheckRule& rule : check_rules()) {
+      std::printf("%-10s %-10s %-7s %s\n", std::string(rule.id()).c_str(),
+                  std::string(to_string(rule.stage())).c_str(),
+                  std::string(to_string(rule.severity())).c_str(),
+                  std::string(rule.summary()).c_str());
+    }
+    return 0;
+  }
+
+  const Package package = load_input(args);
+  const FlowOptions options = flow_options(args);
+
+  CheckContext context;
+  context.package = &package;
+  context.strategy = options.routing;
+  context.grid_spec = options.grid_spec;
+  context.solver = options.solver;
+  context.stacking = options.stacking;
+
+  // Check a stored assignment when given, else the one the configured
+  // assignment method produces (no exchange: check is a sign-off pass,
+  // not an optimisation run).
+  PackageAssignment assignment;
+  const std::string stored = args.get_string("assignment", "");
+  if (!stored.empty()) {
+    assignment = load_assignment(stored, package);
+  } else {
+    FlowOptions plan = options;
+    plan.run_exchange = false;
+    plan.self_check = false;  // `check` reports; it does not throw
+    assignment = CodesignFlow(plan).run(package).final;
+  }
+  context.assignment = &assignment;
+
+  // Materialise routes and the planned vias so the artifact
+  // cross-validation rules (ROUTE-003/004/005) have something to check.
+  // An illegal assignment makes the router throw; check still runs so
+  // the ASSIGN-* rules report the violation by rule id instead.
+  PackageRoute route;
+  PackageViaPlan via_plan;
+  try {
+    route = MonotonicRouter(options.routing).route(package, assignment);
+    context.route = &route;
+    via_plan = plan_vias(package, assignment);
+    context.via_plan = &via_plan;
+  } catch (const Error&) {
+    context.route = nullptr;
+    context.via_plan = nullptr;
+  }
+
+  const CheckReport report = run_checks(context);
+  const std::string json_path = args.get_string("out", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << report.to_json();
+    require(out.good(), "check: cannot write '" + json_path + "'");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::printf("%s", args.has("json") ? report.to_json().c_str()
+                                     : report.to_string().c_str());
+  const bool failed = !report.passed() ||
+                      (args.has("strict") && !report.clean());
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +304,7 @@ int main(int argc, char** argv) {
     if (command == "route") return cmd_route(args);
     if (command == "ir") return cmd_ir(args);
     if (command == "spice") return cmd_spice(args);
+    if (command == "check") return cmd_check(args);
     return usage();
   } catch (const fp::Error& e) {
     std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(), e.what());
