@@ -1,12 +1,18 @@
 // Records the Fig.-14 annealer's cooling curve on circuit 1 (cost and
 // acceptance vs temperature) and writes it as sa_trace.csv -- the
 // convergence-behaviour evidence behind the Table-3 schedule defaults.
+//
+// The curve flows through the observability metrics sink (series
+// "sa.cooling", obs/metrics.h): this harness arms metrics collection,
+// runs the exchange, and regenerates the CSV from the registry snapshot.
+// The column layout matches the legacy AnnealResult::trace output.
 #include <cstdio>
 
 #include "assign/dfa.h"
 #include "bench_common.h"
 #include "exchange/exchange.h"
 #include "io/csv.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 int main() {
@@ -15,21 +21,36 @@ int main() {
       CircuitGenerator::generate(CircuitGenerator::table1(0));
   const PackageAssignment initial = DfaAssigner().assign(package);
 
+  obs::set_metrics_enabled(true);
   ExchangeOptions options = bench::standard_exchange();
   options.schedule.record_every = 5;
   const ExchangeOptimizer optimizer(package, options);
   const ExchangeResult result = optimizer.optimize(initial);
 
-  CsvWriter csv({"temperature", "cost", "accepted_moves"});
-  for (const AnnealSample& sample : result.anneal.trace) {
-    csv.add_row({format_fixed(sample.temperature, 6),
-                 format_fixed(sample.cost, 4),
-                 std::to_string(sample.accepted)});
+  const std::optional<obs::SeriesSnapshot> cooling =
+      obs::MetricsRegistry::global().series("sa.cooling");
+  if (!cooling.has_value()) {
+    std::fprintf(stderr, "sa.cooling series missing from the metrics sink\n");
+    return 1;
+  }
+
+  CsvWriter csv(cooling->columns);
+  for (const std::vector<double>& row : cooling->rows) {
+    csv.add_row({format_fixed(row[0], 6), format_fixed(row[1], 4),
+                 std::to_string(static_cast<long long>(row[2]))});
   }
   csv.save("sa_trace.csv");
 
+  // The metrics sink and the AnnealResult::trace shim must agree sample
+  // for sample (the shim is derived from the same recording).
+  if (cooling->rows.size() != result.anneal.trace.size()) {
+    std::fprintf(stderr, "metrics sink (%zu) and trace shim (%zu) disagree\n",
+                 cooling->rows.size(), result.anneal.trace.size());
+    return 1;
+  }
+
   std::printf("SA cooling trace on circuit1 (%zu samples)\n",
-              result.anneal.trace.size());
+              cooling->rows.size());
   std::printf("  initial cost %.3f -> final %.3f (best %.3f)\n",
               result.anneal.initial_cost, result.anneal.final_cost,
               result.anneal.best_cost);

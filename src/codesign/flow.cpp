@@ -4,6 +4,8 @@
 #include "assign/dfa.h"
 #include "assign/ifa.h"
 #include "assign/random_assigner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "route/router.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -38,7 +40,14 @@ CodesignFlow::CodesignFlow(FlowOptions options)
 
 FlowResult CodesignFlow::run(const Package& package) const {
   const Timer timer;
+  const obs::ScopedSpan flow_span("flow.run", "flow");
   FlowResult result;
+  // Every stage contributes one entry even when it did no work, so the
+  // breakdown always sums to ~runtime_s and downstream consumers (report,
+  // summary, tests) can rely on the stage order.
+  const auto record_stage = [&result](const char* name, const Timer& stage) {
+    result.stage_timings.push_back(StageTiming{name, stage.seconds()});
+  };
 
   // Debug-build stage gates: validate the package before planning and the
   // assignment after each step, so a corrupt artifact aborts loudly at
@@ -49,67 +58,102 @@ FlowResult CodesignFlow::run(const Package& package) const {
   check_context.grid_spec = options_.grid_spec;
   check_context.solver = options_.solver;
   check_context.stacking = options_.stacking;
-  if (options_.self_check) {
-    check_or_throw(check_context, CheckStage::Package);
-    check_or_throw(check_context, CheckStage::Stacking);
+  {
+    const Timer stage;
+    const obs::ScopedSpan span("flow.check", "flow");
+    if (options_.self_check) {
+      check_or_throw(check_context, CheckStage::Package);
+      check_or_throw(check_context, CheckStage::Stacking);
+    }
+    record_stage("check", stage);
   }
 
   // --- step 1: congestion-driven assignment ------------------------------
-  switch (options_.method) {
-    case AssignmentMethod::Random:
-      result.initial = RandomAssigner(options_.random_seed).assign(package);
-      break;
-    case AssignmentMethod::Ifa:
-      result.initial = IfaAssigner().assign(package);
-      break;
-    case AssignmentMethod::Dfa:
-      result.initial = DfaAssigner(options_.dfa_cut_line_n).assign(package);
-      break;
+  {
+    const Timer stage;
+    const obs::ScopedSpan span("flow.assign", "flow");
+    switch (options_.method) {
+      case AssignmentMethod::Random:
+        result.initial = RandomAssigner(options_.random_seed).assign(package);
+        break;
+      case AssignmentMethod::Ifa:
+        result.initial = IfaAssigner().assign(package);
+        break;
+      case AssignmentMethod::Dfa:
+        result.initial = DfaAssigner(options_.dfa_cut_line_n).assign(package);
+        break;
+    }
+    if (options_.self_check) {
+      check_context.assignment = &result.initial;
+      check_or_throw(check_context, CheckStage::Assignment);
+    }
+    record_stage("assign", stage);
   }
-  if (options_.self_check) {
-    check_context.assignment = &result.initial;
-    check_or_throw(check_context, CheckStage::Assignment);
-  }
-  result.max_density_initial =
-      max_density(package, result.initial, options_.routing);
-  result.flyline_initial_um = total_flyline_um(package, result.initial);
 
   const bool has_supply = !package.netlist().supply_nets().empty();
-  if (has_supply) {
-    result.ir_initial = analyze_ir(package, result.initial,
-                                   options_.grid_spec, options_.solver);
+  {
+    const Timer stage;
+    const obs::ScopedSpan span("flow.analyze.initial", "flow");
+    result.max_density_initial =
+        max_density(package, result.initial, options_.routing);
+    result.flyline_initial_um = total_flyline_um(package, result.initial);
+    if (has_supply) {
+      result.ir_initial = analyze_ir(package, result.initial,
+                                     options_.grid_spec, options_.solver);
+    }
+    result.bonding_initial =
+        analyze_bonding(package, result.initial, options_.stacking);
+    record_stage("analyze_initial", stage);
   }
-  result.bonding_initial =
-      analyze_bonding(package, result.initial, options_.stacking);
 
   // --- step 2: finger/pad exchange ---------------------------------------
-  if (options_.run_exchange) {
-    ExchangeOptions exchange_options = options_.exchange;
-    exchange_options.grid_spec = options_.grid_spec;
-    exchange_options.solver = options_.solver;
-    const ExchangeOptimizer optimizer(package, exchange_options);
-    ExchangeResult exchanged = optimizer.optimize(result.initial);
-    result.final = std::move(exchanged.assignment);
-    result.anneal = exchanged.anneal;
-  } else {
-    result.final = result.initial;
-  }
-  if (options_.self_check) {
-    check_context.assignment = &result.final;
-    check_or_throw(check_context, CheckStage::Assignment);
+  {
+    const Timer stage;
+    const obs::ScopedSpan span("flow.exchange", "flow");
+    if (options_.run_exchange) {
+      ExchangeOptions exchange_options = options_.exchange;
+      exchange_options.grid_spec = options_.grid_spec;
+      exchange_options.solver = options_.solver;
+      const ExchangeOptimizer optimizer(package, exchange_options);
+      ExchangeResult exchanged = optimizer.optimize(result.initial);
+      result.final = std::move(exchanged.assignment);
+      result.anneal = exchanged.anneal;
+    } else {
+      result.final = result.initial;
+    }
+    if (options_.self_check) {
+      check_context.assignment = &result.final;
+      check_or_throw(check_context, CheckStage::Assignment);
+    }
+    record_stage("exchange", stage);
   }
 
-  result.max_density_final =
-      max_density(package, result.final, options_.routing);
-  result.flyline_final_um = total_flyline_um(package, result.final);
-  if (has_supply) {
-    result.ir_final = analyze_ir(package, result.final, options_.grid_spec,
-                                 options_.solver);
+  {
+    const Timer stage;
+    const obs::ScopedSpan span("flow.analyze.final", "flow");
+    result.max_density_final =
+        max_density(package, result.final, options_.routing);
+    result.flyline_final_um = total_flyline_um(package, result.final);
+    if (has_supply) {
+      result.ir_final = analyze_ir(package, result.final, options_.grid_spec,
+                                   options_.solver);
+    }
+    result.bonding_final =
+        analyze_bonding(package, result.final, options_.stacking);
+    record_stage("analyze_final", stage);
   }
-  result.bonding_final =
-      analyze_bonding(package, result.final, options_.stacking);
 
   result.runtime_s = timer.seconds();
+  if (obs::metrics_enabled()) {
+    obs::count("flow.runs");
+    obs::gauge("flow.max_density", result.max_density_final);
+    obs::gauge("flow.max_ir_drop_v", result.ir_final.max_drop_v);
+    obs::gauge("flow.omega", result.bonding_final.omega);
+    obs::gauge("flow.runtime_s", result.runtime_s);
+    for (const StageTiming& stage : result.stage_timings) {
+      obs::gauge("flow.stage." + stage.name + "_s", stage.seconds);
+    }
+  }
   return result;
 }
 
@@ -136,6 +180,14 @@ std::string CodesignFlow::summary(const Package& package,
          format_fixed(result.bonding_initial.total_um, 1) + " -> " +
          format_fixed(result.bonding_final.total_um, 1) + " um\n";
   out += "  runtime       : " + format_fixed(result.runtime_s, 3) + " s\n";
+  if (!result.stage_timings.empty()) {
+    out += "  stages        :";
+    for (const StageTiming& stage : result.stage_timings) {
+      out += " " + stage.name + " " + format_fixed(stage.seconds, 3) + " s";
+      if (&stage != &result.stage_timings.back()) out += " |";
+    }
+    out += "\n";
+  }
   return out;
 }
 

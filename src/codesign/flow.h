@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "exchange/exchange.h"
 #include "package/assignment.h"
@@ -50,6 +51,12 @@ struct FlowOptions {
 #endif
 };
 
+/// Wall-clock time of one flow stage (see FlowResult::stage_timings).
+struct StageTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
 struct FlowResult {
   PackageAssignment initial;  // after the assignment step
   PackageAssignment final;    // after the exchange step (== initial when
@@ -65,6 +72,11 @@ struct FlowResult {
   BondingWireReport bonding_final;
   AnnealResult anneal;
   double runtime_s = 0.0;
+  /// Per-stage wall-clock breakdown of runtime_s, in execution order:
+  /// check, assign, analyze_initial, exchange, analyze_final. Always
+  /// populated (stages that did no work report ~0 s); the same stages are
+  /// emitted as "flow.*" spans when tracing is enabled (obs/trace.h).
+  std::vector<StageTiming> stage_timings;
 
   /// (1 - IR_after / IR_before) * 100, the paper's Table-3 "improved
   /// IR-drop"; 0 when IR was not evaluated.

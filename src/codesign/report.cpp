@@ -58,6 +58,20 @@ std::string write_flow_report(const Package& package,
   }
   out += "* runtime: " + format_fixed(result.runtime_s, 3) + " s\n\n";
 
+  if (!result.stage_timings.empty()) {
+    out += "## Stage timings\n\n";
+    out += "| stage | seconds | share |\n";
+    out += "|---|---|---|\n";
+    for (const StageTiming& stage : result.stage_timings) {
+      const double share = result.runtime_s > 0.0
+                               ? stage.seconds / result.runtime_s * 100.0
+                               : 0.0;
+      out += row(stage.name, format_fixed(stage.seconds, 3) + " s",
+                 format_fixed(share, 1) + "%");
+    }
+    out += "\n";
+  }
+
   out += "## Metrics\n\n";
   out += "| metric | after assignment | after exchange |\n";
   out += "|---|---|---|\n";

@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace fp {
+namespace {
+
+/// Column layout of the "sa.cooling" metrics series (matches the
+/// sa_trace.csv header emitted by bench_sa_trace).
+const std::vector<std::string>& cooling_columns() {
+  static const std::vector<std::string> columns{"temperature", "cost",
+                                                "accepted_moves"};
+  return columns;
+}
+
+}  // namespace
 
 Annealer::Annealer(SaSchedule schedule) : schedule_(schedule) {
   require(schedule_.initial_temperature > 0.0 &&
@@ -21,6 +34,7 @@ Annealer::Annealer(SaSchedule schedule) : schedule_(schedule) {
 
 AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
                            const Undo& undo) const {
+  const obs::ScopedSpan span("sa.anneal", "exchange");
   Rng rng(schedule_.seed);
   AnnealResult result;
   result.initial_cost = initial_cost;
@@ -31,10 +45,26 @@ AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
        temperature > schedule_.final_temperature;
        temperature *= schedule_.cooling) {
     ++result.temperature_steps;
-    if (schedule_.record_every > 0 &&
-        (result.temperature_steps - 1) % schedule_.record_every == 0) {
-      result.trace.push_back(
-          AnnealSample{temperature, cost, result.accepted});
+    // One sample per recorded temperature step, fanned out to every sink:
+    // the AnnealResult::trace shim (record_every callers), the metrics
+    // series, and the trace counter track. The trace counter fires every
+    // step so a Perfetto view always shows the full cooling curve.
+    const bool record_shim =
+        schedule_.record_every > 0 &&
+        (result.temperature_steps - 1) % schedule_.record_every == 0;
+    if (record_shim) {
+      result.trace.push_back(AnnealSample{temperature, cost, result.accepted});
+    }
+    if (obs::metrics_enabled() &&
+        (record_shim || schedule_.record_every <= 0)) {
+      obs::sample("sa.cooling", cooling_columns(),
+                  {temperature, cost, static_cast<double>(result.accepted)});
+    }
+    if (obs::tracing_enabled()) {
+      obs::counter("sa",
+                   {{"temperature", temperature},
+                    {"cost", cost},
+                    {"accepted", static_cast<double>(result.accepted)}});
     }
     for (int i = 0; i < schedule_.moves_per_temperature; ++i) {
       ++result.proposed;
@@ -56,6 +86,16 @@ AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
     }
   }
   result.final_cost = cost;
+  if (obs::metrics_enabled()) {
+    obs::count("sa.runs");
+    obs::count("sa.proposed", result.proposed);
+    obs::count("sa.accepted", result.accepted);
+    obs::count("sa.rejected_illegal", result.rejected_illegal);
+    obs::count("sa.temperature_steps", result.temperature_steps);
+    obs::gauge("sa.initial_cost", result.initial_cost);
+    obs::gauge("sa.final_cost", result.final_cost);
+    obs::gauge("sa.best_cost", result.best_cost);
+  }
   return result;
 }
 

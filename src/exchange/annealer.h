@@ -31,6 +31,11 @@ struct SaSchedule {
 };
 
 /// One point of the recorded cooling curve.
+///
+/// Back-compat shim: the canonical sink for cooling-curve samples is now
+/// the observability layer (metrics series "sa.cooling" and trace counter
+/// "sa", see obs/metrics.h and docs/OBSERVABILITY.md); AnnealResult::trace
+/// is kept so existing callers of record_every keep working.
 struct AnnealSample {
   double temperature = 0.0;
   double cost = 0.0;

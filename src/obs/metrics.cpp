@@ -1,0 +1,260 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace fp::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics{false};
+}  // namespace detail
+
+namespace {
+
+std::string json_string(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+void MetricsRegistry::add(std::string_view counter, long long delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set(std::string_view gauge, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(gauge);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view histogram, double value,
+                              const std::vector<double>& bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    require(!bounds.empty(),
+            "MetricsRegistry::observe: first use must fix the buckets");
+    require(std::is_sorted(bounds.begin(), bounds.end()),
+            "MetricsRegistry::observe: bucket bounds must ascend");
+    HistogramSnapshot fresh;
+    fresh.bounds = bounds;
+    fresh.counts.assign(bounds.size() + 1, 0);
+    it = histograms_.emplace(std::string(histogram), std::move(fresh)).first;
+  } else {
+    require(bounds.empty() || bounds == it->second.bounds,
+            "MetricsRegistry::observe: bucket bounds changed between calls");
+  }
+  HistogramSnapshot& h = it->second;
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin());
+  ++h.counts[bucket];
+  ++h.count;
+  h.sum += value;
+}
+
+void MetricsRegistry::append(std::string_view series,
+                             const std::vector<std::string>& columns,
+                             const std::vector<double>& row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    require(!columns.empty(),
+            "MetricsRegistry::append: first use must name the columns");
+    SeriesSnapshot fresh;
+    fresh.columns = columns;
+    it = series_.emplace(std::string(series), std::move(fresh)).first;
+  } else {
+    require(columns.empty() || columns == it->second.columns,
+            "MetricsRegistry::append: column layout changed between calls");
+  }
+  require(row.size() == it->second.columns.size(),
+          "MetricsRegistry::append: row width differs from the columns");
+  it->second.rows.push_back(row);
+}
+
+std::optional<long long> MetricsRegistry::counter_value(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> MetricsRegistry::gauge_value(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<HistogramSnapshot> MetricsRegistry::histogram(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<SeriesSnapshot> MetricsRegistry::series(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"schema\":\"fpkit.metrics.v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_string(name) + ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_string(name) + ":" + json_number(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_string(name) + ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ",";
+      out += json_number(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + json_number(h.sum) + "}";
+  }
+  out += "},\"series\":{";
+  first = true;
+  for (const auto& [name, s] : series_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_string(name) + ":{\"columns\":[";
+    for (std::size_t i = 0; i < s.columns.size(); ++i) {
+      if (i) out += ",";
+      out += json_string(s.columns[i]);
+    }
+    out += "],\"rows\":[";
+    for (std::size_t r = 0; r < s.rows.size(); ++r) {
+      if (r) out += ",";
+      out += "[";
+      for (std::size_t c = 0; c < s.rows[r].size(); ++c) {
+        if (c) out += ",";
+        out += json_number(s.rows[r][c]);
+      }
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw IoError("MetricsRegistry::save: cannot open '" + path + "'");
+  file << to_json();
+  if (!file) {
+    throw IoError("MetricsRegistry::save: write to '" + path + "' failed");
+  }
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+void count(std::string_view counter, long long delta) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::global().add(counter, delta);
+}
+
+void gauge(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::global().set(name, value);
+}
+
+void observe(std::string_view histogram, double value,
+             const std::vector<double>& bounds) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::global().observe(histogram, value, bounds);
+}
+
+void sample(std::string_view series, const std::vector<std::string>& columns,
+            const std::vector<double>& row) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::global().append(series, columns, row);
+}
+
+}  // namespace fp::obs

@@ -1,0 +1,108 @@
+// Metrics registry: named counters, gauges, fixed-bucket histograms and
+// sample series, with a JSON snapshot.
+//
+// The snapshot schema ("fpkit.metrics.v1") is the shared format for bench
+// outputs (BENCH_*.json) and the `fpkit --metrics` CLI flag, so CI and
+// benches validate one shape. Collection is disabled by default: the
+// `count`/`gauge`/`observe`/`sample` free functions cost one relaxed
+// atomic load and a branch until `set_metrics_enabled(true)`. The
+// registry object itself always records (tests drive it directly).
+//
+// Metric names are dotted lowercase paths namespaced per subsystem
+// ("sa.proposed", "solver.iterations"); see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fp::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics;
+}  // namespace detail
+
+/// True when the convenience free functions record (one relaxed load).
+inline bool metrics_enabled() {
+  return detail::g_metrics.load(std::memory_order_relaxed);
+}
+
+/// Turns the free-function fast path on or off.
+void set_metrics_enabled(bool on);
+
+/// Fixed-bucket histogram snapshot: counts[i] tallies values <= bounds[i],
+/// counts.back() tallies the overflow (> bounds.back()).
+struct HistogramSnapshot {
+  std::vector<double> bounds;          // ascending upper bucket bounds
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Columnar sample series (e.g. the SA cooling curve): one row per sample.
+struct SeriesSnapshot {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry behind the free functions below.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void add(std::string_view counter, long long delta = 1);
+  void set(std::string_view gauge, double value);
+  /// Records `value` in the named histogram; `bounds` fixes the buckets on
+  /// first use and must match (or be empty) on later calls.
+  void observe(std::string_view histogram, double value,
+               const std::vector<double>& bounds);
+  /// Appends one row to the named series; `columns` fixes the layout on
+  /// first use. The row width must equal the column count.
+  void append(std::string_view series, const std::vector<std::string>& columns,
+              const std::vector<double>& row);
+
+  [[nodiscard]] std::optional<long long> counter_value(
+      std::string_view name) const;
+  [[nodiscard]] std::optional<double> gauge_value(std::string_view name) const;
+  [[nodiscard]] std::optional<HistogramSnapshot> histogram(
+      std::string_view name) const;
+  [[nodiscard]] std::optional<SeriesSnapshot> series(
+      std::string_view name) const;
+
+  /// {"schema":"fpkit.metrics.v1","counters":{...},"gauges":{...},
+  ///  "histograms":{...},"series":{...}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; throws IoError on failure.
+  void save(const std::string& path) const;
+
+  /// Drops every metric (tests and long-lived processes).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, long long, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms_;
+  std::map<std::string, SeriesSnapshot, std::less<>> series_;
+};
+
+/// Convenience sinks into MetricsRegistry::global(); no-ops (one branch)
+/// while metrics are disabled.
+void count(std::string_view counter, long long delta = 1);
+void gauge(std::string_view name, double value);
+void observe(std::string_view histogram, double value,
+             const std::vector<double>& bounds);
+void sample(std::string_view series, const std::vector<std::string>& columns,
+            const std::vector<double>& row);
+
+}  // namespace fp::obs

@@ -1,0 +1,230 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace fp::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceStore {
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+  std::vector<CounterRecord> counters;
+};
+
+TraceStore& store() {
+  static TraceStore instance;
+  return instance;
+}
+
+/// Microseconds since the process-wide trace epoch (first use).
+std::uint64_t now_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+/// Small sequential id per thread (0 = first thread to record).
+int thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int& thread_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+void json_escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_number(double value) {
+  // Strict JSON has no Infinity/NaN literals; clamp to 0 rather than emit
+  // a file Perfetto refuses to load.
+  if (!(value == value) || value > 1e308 || value < -1e308) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool on) {
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  name_.assign(name);
+  category_.assign(category);
+  start_us_ = now_us();
+  ++thread_depth();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::uint64_t end = now_us();
+  const int depth = --thread_depth();
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.category = std::move(category_);
+  record.start_us = start_us_;
+  record.duration_us = end - start_us_;
+  record.thread_id = thread_id();
+  record.depth = depth;
+  TraceStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.spans.push_back(std::move(record));
+}
+
+void counter(std::string_view name,
+             std::initializer_list<std::pair<std::string_view, double>>
+                 values) {
+  if (!tracing_enabled()) return;
+  CounterRecord record;
+  record.name.assign(name);
+  record.values.reserve(values.size());
+  for (const auto& [key, value] : values) {
+    record.values.emplace_back(std::string(key), value);
+  }
+  record.time_us = now_us();
+  record.thread_id = thread_id();
+  TraceStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.counters.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> trace_spans() {
+  TraceStore& s = store();
+  std::vector<SpanRecord> spans;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    spans = s.spans;
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.depth < b.depth;
+            });
+  return spans;
+}
+
+std::vector<CounterRecord> trace_counters() {
+  TraceStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.counters;
+}
+
+std::string trace_to_json() {
+  const std::vector<SpanRecord> spans = trace_spans();
+  const std::vector<CounterRecord> counters = trace_counters();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&]() {
+    if (!first) out += ",";
+    first = false;
+  };
+  for (const SpanRecord& span : spans) {
+    comma();
+    out += "{\"name\":\"";
+    json_escape_into(out, span.name);
+    out += "\",\"cat\":\"";
+    json_escape_into(out, span.category);
+    out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(span.start_us) +
+           ",\"dur\":" + std::to_string(span.duration_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(span.thread_id) +
+           ",\"args\":{\"depth\":" + std::to_string(span.depth) + "}}";
+  }
+  for (const CounterRecord& record : counters) {
+    comma();
+    out += "{\"name\":\"";
+    json_escape_into(out, record.name);
+    out += "\",\"ph\":\"C\",\"ts\":" + std::to_string(record.time_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(record.thread_id) +
+           ",\"args\":{";
+    for (std::size_t i = 0; i < record.values.size(); ++i) {
+      if (i) out += ",";
+      out += "\"";
+      json_escape_into(out, record.values[i].first);
+      out += "\":" + json_number(record.values[i].second);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string trace_to_text() {
+  const std::vector<SpanRecord> spans = trace_spans();
+  std::string out;
+  int current_thread = -1;
+  for (const SpanRecord& span : spans) {
+    if (span.thread_id != current_thread) {
+      current_thread = span.thread_id;
+      out += "thread " + std::to_string(current_thread) + "\n";
+    }
+    out.append(static_cast<std::size_t>(2 * (span.depth + 1)), ' ');
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f ms",
+                  static_cast<double>(span.duration_us) / 1e3);
+    out += span.name + " [" + span.category + "] " + buf + "\n";
+  }
+  return out;
+}
+
+void save_trace(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw IoError("save_trace: cannot open '" + path + "'");
+  file << trace_to_json();
+  if (!file) throw IoError("save_trace: write to '" + path + "' failed");
+}
+
+void reset_trace() {
+  TraceStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.spans.clear();
+  s.counters.clear();
+}
+
+}  // namespace fp::obs

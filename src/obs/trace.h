@@ -1,0 +1,98 @@
+// Span tracer for the codesign flow: RAII spans with nesting and
+// thread-id capture, plus Chrome-trace-event JSON export (loadable in
+// chrome://tracing and Perfetto) and a compact text tree dump.
+//
+// Tracing is disabled by default. Every instrumentation site is guarded
+// by one relaxed atomic load (`tracing_enabled()`), so instrumented code
+// costs a single predictable branch when tracing is off: a disabled
+// ScopedSpan never copies its name and never takes the trace lock.
+//
+// Span names are dotted lowercase paths ("flow.assign", "solver.cg");
+// categories group spans per subsystem ("flow", "power", "route",
+// "exchange"). See docs/OBSERVABILITY.md for the naming conventions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fp::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+}  // namespace detail
+
+/// True when span/counter recording is on (one relaxed load).
+inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on or off; existing events are kept.
+void set_tracing_enabled(bool on);
+
+/// One finished span, as stored by the tracer.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::uint64_t start_us = 0;     // microseconds since the trace epoch
+  std::uint64_t duration_us = 0;  // wall-clock duration
+  int thread_id = 0;              // small sequential id, 0 = first thread
+  int depth = 0;                  // nesting depth within its thread
+};
+
+/// One counter sample (a Chrome "C" event: a named time series).
+struct CounterRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> values;
+  std::uint64_t time_us = 0;
+  int thread_id = 0;
+};
+
+/// RAII span: opens on construction, records on destruction. When
+/// tracing is disabled the constructor is a single branch and the
+/// destructor another.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      std::string_view category = "fpkit");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::uint64_t start_us_ = 0;
+  std::string name_;
+  std::string category_;
+};
+
+/// Records one sample of a named time series ("sa" temperature/cost,
+/// "solver.residual", ...). No-op when tracing is disabled.
+void counter(std::string_view name,
+             std::initializer_list<std::pair<std::string_view, double>>
+                 values);
+
+/// Snapshot of every finished span, ordered by (thread, start time).
+[[nodiscard]] std::vector<SpanRecord> trace_spans();
+
+/// Snapshot of every counter sample in emission order.
+[[nodiscard]] std::vector<CounterRecord> trace_counters();
+
+/// Chrome trace event format: {"traceEvents":[...]}. Spans are complete
+/// ("ph":"X") events; counters are "ph":"C" events.
+[[nodiscard]] std::string trace_to_json();
+
+/// Indented per-thread tree of the recorded spans, for terminal use.
+[[nodiscard]] std::string trace_to_text();
+
+/// Writes trace_to_json() to `path`; throws IoError on failure.
+void save_trace(const std::string& path);
+
+/// Drops all recorded events (tests and long-lived processes).
+void reset_trace();
+
+}  // namespace fp::obs

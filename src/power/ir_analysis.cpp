@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "io/svg.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace fp {
@@ -18,6 +19,7 @@ IrReport analyze_ir(const Package& package,
 IrReport analyze_ir(const Package& package,
                     const PackageAssignment& assignment, PowerGrid& grid,
                     const SolverOptions& options) {
+  const obs::ScopedSpan span("power.analyze_ir", "power");
   const PadRing ring(package, grid.k());
   const std::vector<IPoint> nodes = ring.supply_nodes(assignment);
   require(!nodes.empty(), "analyze_ir: assignment has no supply pads");

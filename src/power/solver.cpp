@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace fp {
@@ -146,10 +148,15 @@ SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
     if (jacobi) x.swap(next);
     // Convergence is checked on the true residual every few sweeps to keep
     // the check from dominating the sweep cost.
-    if (iter % 8 == 7 &&
-        relative_residual(sys, grid, x) <= options.tolerance) {
-      ++iter;
-      break;
+    if (iter % 8 == 7) {
+      const double rel = relative_residual(sys, grid, x);
+      if (obs::tracing_enabled()) {
+        obs::counter("solver.residual", {{"relative_residual", rel}});
+      }
+      if (rel <= options.tolerance) {
+        ++iter;
+        break;
+      }
     }
   }
   SolveResult result = finish(sys, grid, x, iter);
@@ -178,7 +185,11 @@ SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
   for (; iter < options.max_iterations; ++iter) {
     double r_norm = 0.0;
     for (const double v : r) r_norm += v * v;
-    if (std::sqrt(r_norm) / b_norm <= options.tolerance) break;
+    const double rel = std::sqrt(r_norm) / b_norm;
+    if (obs::tracing_enabled()) {
+      obs::counter("solver.residual", {{"relative_residual", rel}});
+    }
+    if (rel <= options.tolerance) break;
 
     apply(sys, grid, p, ap);
     double p_ap = 0.0;
@@ -271,6 +282,9 @@ class MultigridSolver {
       residual(levels_.front());
       rel = b_norm > 0.0 ? norm(levels_.front().r) / b_norm
                          : norm(levels_.front().r);
+      if (obs::tracing_enabled()) {
+        obs::counter("solver.residual", {{"relative_residual", rel}});
+      }
       if (rel <= options_.tolerance) {
         ++cycles;
         break;
@@ -421,7 +435,52 @@ class MultigridSolver {
   std::vector<MgLevel> levels_;
 };
 
+/// Static span name per backend (no allocation when tracing is off).
+std::string_view span_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::Jacobi:
+      return "solver.jacobi";
+    case SolverKind::GaussSeidel:
+      return "solver.gauss_seidel";
+    case SolverKind::Sor:
+      return "solver.sor";
+    case SolverKind::ConjugateGradient:
+      return "solver.cg";
+    case SolverKind::Multigrid:
+      return "solver.multigrid";
+  }
+  return "solver.unknown";
+}
+
 }  // namespace
+
+std::string_view to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::Jacobi:
+      return "jacobi";
+    case SolverKind::GaussSeidel:
+      return "gauss_seidel";
+    case SolverKind::Sor:
+      return "sor";
+    case SolverKind::ConjugateGradient:
+      return "cg";
+    case SolverKind::Multigrid:
+      return "multigrid";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SolveStop stop) {
+  switch (stop) {
+    case SolveStop::Converged:
+      return "converged";
+    case SolveStop::IterationLimit:
+      return "iteration_limit";
+    case SolveStop::Trivial:
+      return "trivial";
+  }
+  return "unknown";
+}
 
 SolveResult solve(const PowerGrid& grid, const SolverOptions& options) {
   require(!grid.pads().empty(),
@@ -429,22 +488,35 @@ SolveResult solve(const PowerGrid& grid, const SolverOptions& options) {
   require(options.tolerance > 0.0, "solve: tolerance must be positive");
   require(options.max_iterations > 0,
           "solve: max_iterations must be positive");
+  const obs::ScopedSpan span(span_name(options.kind), "power");
   const FreeSystem sys = build_system(grid);
+  SolveResult result;
   if (sys.free_node.empty()) {
     // Every node is a pad: the field is exactly Vdd.
-    SolveResult result;
     const auto k = static_cast<std::size_t>(grid.k());
     result.voltage = Grid2D<double>(k, k, grid.spec().vdd);
     result.converged = true;
-    return result;
+    result.stop = SolveStop::Trivial;
+  } else if (options.kind == SolverKind::ConjugateGradient) {
+    result = solve_cg(sys, grid, options);
+  } else if (options.kind == SolverKind::Multigrid) {
+    result = MultigridSolver(grid, options).run();
+  } else {
+    result = solve_relaxation(sys, grid, options);
   }
-  if (options.kind == SolverKind::ConjugateGradient) {
-    return solve_cg(sys, grid, options);
+  if (result.stop != SolveStop::Trivial) {
+    result.stop =
+        result.converged ? SolveStop::Converged : SolveStop::IterationLimit;
   }
-  if (options.kind == SolverKind::Multigrid) {
-    return MultigridSolver(grid, options).run();
+  if (obs::metrics_enabled()) {
+    obs::count("solver.solves");
+    obs::count("solver.iterations_total", result.iterations);
+    obs::count("solver.stop." + std::string(to_string(result.stop)));
+    obs::observe("solver.iterations", result.iterations,
+                 {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
+    obs::gauge("solver.relative_residual", result.relative_residual);
   }
-  return solve_relaxation(sys, grid, options);
+  return result;
 }
 
 double max_ir_drop(const PowerGrid& grid, const SolveResult& result) {

@@ -15,12 +15,16 @@
 //     the paper cites ([21], [22]); mesh-size-independent convergence.
 #pragma once
 
+#include <string_view>
+
 #include "geom/grid2d.h"
 #include "power/power_grid.h"
 
 namespace fp {
 
 enum class SolverKind { Jacobi, GaussSeidel, Sor, ConjugateGradient, Multigrid };
+
+[[nodiscard]] std::string_view to_string(SolverKind kind);
 
 struct SolverOptions {
   SolverKind kind = SolverKind::ConjugateGradient;
@@ -31,11 +35,21 @@ struct SolverOptions {
   double sor_omega = 1.8;
 };
 
+/// Why the solve loop ended (telemetry; `converged` stays the API truth).
+enum class SolveStop {
+  Converged,       // residual reached the tolerance
+  IterationLimit,  // max_iterations exhausted before converging
+  Trivial,         // every node is a pad: the field is exactly Vdd
+};
+
+[[nodiscard]] std::string_view to_string(SolveStop stop);
+
 struct SolveResult {
   Grid2D<double> voltage;  // volts at every node
   int iterations = 0;
   double relative_residual = 0.0;
   bool converged = false;
+  SolveStop stop = SolveStop::IterationLimit;
 };
 
 /// Solves for the node voltages. Throws InvalidArgument when the grid has

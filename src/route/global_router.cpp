@@ -5,6 +5,8 @@
 #include <set>
 #include <tuple>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "route/legality.h"
 
 namespace fp {
@@ -214,10 +216,16 @@ GlobalCongestion GlobalRouter::evaluate(
 
 GlobalRouteConfig GlobalRouter::improve(
     const Quadrant& quadrant, const QuadrantAssignment& assignment) const {
+  const obs::ScopedSpan span("groute.improve", "route");
   GlobalRouteConfig config = fixed_config(quadrant, assignment);
   Objective best = objective_of(evaluate(quadrant, assignment, config));
+  const Objective fixed = best;
 
+  long long candidates_tried = 0;
+  long long moves_taken = 0;
+  int passes = 0;
   for (int pass = 0; pass < options_.max_passes; ++pass) {
+    ++passes;
     bool changed = false;
     for (int a = 0; a < assignment.size(); ++a) {
       ViaSite& site = config.via_of_finger[static_cast<std::size_t>(a)];
@@ -233,6 +241,7 @@ GlobalRouteConfig GlobalRouter::improve(
       }
       for (const ViaSite candidate : candidates) {
         site = candidate;
+        ++candidates_tried;
         if (validate(quadrant, assignment, config).has_value()) continue;
         const Objective trial =
             objective_of(evaluate(quadrant, assignment, config));
@@ -245,9 +254,22 @@ GlobalRouteConfig GlobalRouter::improve(
       if (best_here < best) {
         best = best_here;
         changed = true;
+        ++moves_taken;
       }
     }
     if (!changed) break;
+  }
+  if (obs::metrics_enabled()) {
+    obs::count("groute.improves");
+    obs::count("groute.passes", passes);
+    obs::count("groute.candidates", candidates_tried);
+    obs::count("groute.moves", moves_taken);
+    // Crossing/detour outcome of this improvement run: the worst gap load
+    // before/after (crossings) and the total extra layer-2 rows (detour).
+    obs::gauge("groute.max_density_fixed",
+               static_cast<double>(std::get<0>(fixed)));
+    obs::gauge("groute.max_density", static_cast<double>(std::get<0>(best)));
+    obs::gauge("groute.detour_rows", static_cast<double>(std::get<2>(best)));
   }
   return config;
 }

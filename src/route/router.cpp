@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace fp {
 namespace {
 
@@ -123,6 +125,7 @@ PackageRoute MonotonicRouter::route(const Package& package,
 PackageRoute MonotonicRouter::route(const Package& package,
                                     const PackageAssignment& assignment,
                                     const PackageViaPlan& plan) const {
+  const obs::ScopedSpan span("route.monotonic", "route");
   require(static_cast<int>(assignment.quadrants.size()) ==
               package.quadrant_count(),
           "MonotonicRouter: assignment/package quadrant count mismatch");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "route/legality.h"
 
 namespace fp {
@@ -141,6 +142,7 @@ PackageViaPlan PackageViaPlan::bottom_left(const Package& package) {
 
 PackageViaPlan plan_vias(const Package& package,
                          const PackageAssignment& assignment) {
+  const obs::ScopedSpan span("route.via_plan", "route");
   require(static_cast<int>(assignment.quadrants.size()) ==
               package.quadrant_count(),
           "plan_vias: assignment/package quadrant count mismatch");

@@ -1,12 +1,14 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
 
 namespace fp {
 namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -24,17 +26,66 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
+LogLevel startup_level() {
+  if (const char* env = std::getenv("FPKIT_LOG_LEVEL")) {
+    if (const std::optional<LogLevel> parsed = parse_log_level(env)) {
+      return *parsed;
+    }
+  }
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel>& level_store() {
+  static std::atomic<LogLevel> level{startup_level()};
+  return level;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+/// "2026-08-06T12:34:56.789Z" (UTC, millisecond resolution).
+void format_timestamp(char (&buf)[32]) {
+  using Clock = std::chrono::system_clock;
+  const Clock::time_point now = Clock::now();
+  const std::time_t seconds = Clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char date[24];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buf, sizeof(buf), "%s.%03dZ", date,
+                static_cast<int>(millis));
+}
+
 }  // namespace
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return std::nullopt;
+}
+
+LogLevel log_level() { return level_store().load(std::memory_order_relaxed); }
 
 void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+  level_store().store(level, std::memory_order_relaxed);
 }
 
 void log_line(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[fpkit %s] %.*s\n", level_tag(level),
+  char timestamp[32];
+  format_timestamp(timestamp);
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[%s fpkit %s] %.*s\n", timestamp, level_tag(level),
                static_cast<int>(message.size()), message.data());
 }
 

@@ -1,10 +1,15 @@
 // Minimal leveled logging to stderr.
 //
-// fpkit libraries are quiet by default (Warn); benches and examples raise the
-// level with --verbose. Logging is intentionally simple: no sinks, no
-// threading guarantees beyond whole-line writes.
+// fpkit libraries are quiet by default (Warn); benches and examples raise
+// the level with --verbose, and the FPKIT_LOG_LEVEL environment variable
+// (debug|info|warn|error|off) sets the startup threshold. Each line is
+// emitted whole under a mutex, prefixed with an ISO-8601 UTC timestamp
+// and the level tag:
+//
+//   [2026-08-06T12:34:56.789Z fpkit WARN ] message
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -13,13 +18,18 @@ namespace fp {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Returns the process-wide minimum level that is emitted.
+/// Parses "debug|info|warn|error|off" (case-sensitive); nullopt otherwise.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Returns the process-wide minimum level that is emitted. Initialised
+/// from FPKIT_LOG_LEVEL on first use (Warn when unset or unparsable).
 LogLevel log_level();
 
 /// Sets the process-wide minimum level.
 void set_log_level(LogLevel level);
 
-/// Emits one line at `level` if it passes the threshold.
+/// Emits one line at `level` if it passes the threshold. Whole-line
+/// atomicity holds under threads: the write is serialised by a mutex.
 void log_line(LogLevel level, std::string_view message);
 
 namespace detail {

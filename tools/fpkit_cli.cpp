@@ -2,17 +2,28 @@
 //
 //   fpkit generate --table1 <1..5> [--tiers N] [--seed S] --out c.fp
 //   fpkit info     <circuit.fp>
-//   fpkit plan     <circuit.fp> [--method random|ifa|dfa] [--no-exchange]
+//   fpkit run      <circuit.fp> [--method random|ifa|dfa] [--no-exchange]
 //                  [--mesh K] [--lambda L --rho R --phi P] [--seed S]
+//                  (alias: plan)
 //   fpkit route    <circuit.fp> [--method ...] [--svg-prefix out]
 //   fpkit ir       <circuit.fp> [--method ...] [--mesh K] [--heatmap f.svg]
 //   fpkit check    <circuit.fp> [--assignment a.fpa] [--method ...]
 //                  [--json] [--out report.json] [--strict] [--list-rules]
 //
+// Every subcommand additionally accepts the observability flags
+//   --trace <file.json>    span trace (Chrome trace event format; open in
+//                          Perfetto or chrome://tracing)
+//   --metrics <file.json>  metrics snapshot (fpkit.metrics.v1 schema)
+// and the FPKIT_TRACE=<file> environment variable as an override path for
+// --trace. FPKIT_LOG_LEVEL=debug|info|warn|error|off sets the log
+// threshold (util/log.h). Tracing is off by default and does not change
+// any numeric result.
+//
 // Exit code 0 on success; errors print to stderr and return 1. `check`
 // exits 1 when any Error-severity rule fires (with --strict, warnings
 // fail too).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -24,6 +35,8 @@
 #include "codesign/report.h"
 #include "io/assignment_file.h"
 #include "io/circuit_file.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "package/circuit_generator.h"
 #include "package/lint.h"
 #include "power/ir_analysis.h"
@@ -40,13 +53,14 @@ using namespace fp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fpkit <generate|info|plan|route|ir> [flags]\n"
+               "usage: fpkit <generate|info|run|route|ir> [flags]\n"
                "  generate --table1 <1..5> [--tiers N] [--seed S] "
                "[--supply F] --out <file.fp>\n"
                "  info     <circuit.fp>\n"
-               "  plan     <circuit.fp> [--method random|ifa|dfa] "
+               "  run      <circuit.fp> [--method random|ifa|dfa] "
                "[--no-exchange] [--mesh K]\n"
-               "           [--lambda L] [--rho R] [--phi P] [--seed S]\n"
+               "           [--lambda L] [--rho R] [--phi P] [--seed S]"
+               "   (alias: plan)\n"
                "  route    <circuit.fp> [--method ...] [--assignment a.fpa]"
                " [--svg-prefix p]\n"
                "  ir       <circuit.fp> [--method ...] [--mesh K] "
@@ -56,7 +70,11 @@ int usage() {
                "  check    <circuit.fp> [--assignment a.fpa] [--method ...]"
                " [--mesh K]\n"
                "           [--json] [--out report.json] [--strict]"
-               " [--list-rules]\n");
+               " [--list-rules]\n"
+               "observability (any subcommand; see docs/OBSERVABILITY.md):\n"
+               "  --trace <t.json>    span trace (Perfetto/chrome://tracing)"
+               " [env FPKIT_TRACE]\n"
+               "  --metrics <m.json>  counters/gauges/histograms snapshot\n");
   return 1;
 }
 
@@ -291,23 +309,74 @@ int cmd_check(const ArgParser& args) {
   return failed ? 1 : 0;
 }
 
+int dispatch(const std::string& command, const ArgParser& args) {
+  if (command == "generate") return cmd_generate(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "plan" || command == "run") return cmd_plan(args);
+  if (command == "route") return cmd_route(args);
+  if (command == "ir") return cmd_ir(args);
+  if (command == "spice") return cmd_spice(args);
+  if (command == "check") return cmd_check(args);
+  return usage();
+}
+
+/// Observability flags shared by every subcommand. --trace (or the
+/// FPKIT_TRACE environment variable) arms the span tracer; either flag
+/// arms the metrics registry. Returns the output paths.
+struct ObsPaths {
+  std::string trace;
+  std::string metrics;
+};
+
+ObsPaths arm_observability(const ArgParser& args) {
+  ObsPaths paths;
+  paths.trace = args.get_string("trace", "");
+  if (paths.trace.empty()) {
+    if (const char* env = std::getenv("FPKIT_TRACE")) paths.trace = env;
+  }
+  paths.metrics = args.get_string("metrics", "");
+  if (!paths.trace.empty()) obs::set_tracing_enabled(true);
+  if (!paths.trace.empty() || !paths.metrics.empty()) {
+    obs::set_metrics_enabled(true);
+  }
+  return paths;
+}
+
+/// Writes the armed trace/metrics files (also after a failed command, so
+/// a trace of the failing run survives for debugging).
+void save_observability(const ObsPaths& paths) {
+  if (!paths.trace.empty()) {
+    obs::save_trace(paths.trace);
+    std::printf("wrote %s (%zu spans; open in Perfetto or "
+                "chrome://tracing)\n",
+                paths.trace.c_str(), obs::trace_spans().size());
+  }
+  if (!paths.metrics.empty()) {
+    obs::MetricsRegistry::global().save(paths.metrics);
+    std::printf("wrote %s\n", paths.metrics.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  ObsPaths obs_paths;
   try {
     const ArgParser args(argc - 1, argv + 1);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "info") return cmd_info(args);
-    if (command == "plan") return cmd_plan(args);
-    if (command == "route") return cmd_route(args);
-    if (command == "ir") return cmd_ir(args);
-    if (command == "spice") return cmd_spice(args);
-    if (command == "check") return cmd_check(args);
-    return usage();
+    obs_paths = arm_observability(args);
+    const int code = dispatch(command, args);
+    save_observability(obs_paths);
+    return code;
   } catch (const fp::Error& e) {
     std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(), e.what());
+    try {
+      save_observability(obs_paths);
+    } catch (const fp::Error& save_error) {
+      std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(),
+                   save_error.what());
+    }
     return 1;
   }
 }
