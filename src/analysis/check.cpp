@@ -190,7 +190,7 @@ CheckReport run_checks(const CheckContext& context) {
 }
 
 CheckFailure::CheckFailure(std::string what, CheckReport report)
-    : Error(what), report_(std::move(report)) {}
+    : Error(what, ErrorCode::Check), report_(std::move(report)) {}
 
 void check_or_throw(const CheckContext& context, CheckStage stage) {
   CheckReport report = run_checks(context, stage);

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "route/router.h"
+#include "util/faultpoint.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -20,6 +21,22 @@ std::string_view to_string(AssignmentMethod method) {
       return "IFA";
     case AssignmentMethod::Dfa:
       return "DFA";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::BudgetExpired:
+      return "budget_expired";
+    case DegradeReason::SolverFallback:
+      return "solver_fallback";
+    case DegradeReason::SolverUnconverged:
+      return "solver_unconverged";
+    case DegradeReason::ExchangeAborted:
+      return "exchange_aborted";
+    case DegradeReason::AnalysisFailed:
+      return "analysis_failed";
   }
   return "unknown";
 }
@@ -48,6 +65,35 @@ FlowResult CodesignFlow::run(const Package& package) const {
   const auto record_stage = [&result](const char* name, const Timer& stage) {
     result.stage_timings.push_back(StageTiming{name, stage.seconds()});
   };
+  const auto degrade = [&result](const char* stage, DegradeReason reason,
+                                 std::string detail) {
+    result.degraded = true;
+    result.degrade_events.push_back(
+        DegradeEvent{stage, reason, std::move(detail)});
+  };
+  // Degradations an IR report carries out of the solver (fallback chain
+  // engaged, deadline hit, iteration cap hit without convergence).
+  const auto note_ir = [&degrade](const char* stage, const IrReport& report) {
+    if (report.solver_attempts > 1) {
+      degrade(stage, DegradeReason::SolverFallback,
+              std::to_string(report.solver_attempts) + " solver attempt(s)");
+    }
+    if (report.solver_stop == SolveStop::Budget) {
+      degrade(stage, DegradeReason::BudgetExpired,
+              "solver stopped at its deadline; drop figures are best-so-far");
+    } else if (report.solver_stop == SolveStop::IterationLimit) {
+      degrade(stage, DegradeReason::SolverUnconverged,
+              "solver hit its iteration limit; drop figures are best-so-far");
+    }
+  };
+
+  // The run-level deadline; per-stage caps derive tighter children below.
+  // All-zero budgets produce never-expiring tokens that are never even
+  // wired into the stages, so the unbudgeted path is untouched.
+  const FlowBudget& budget = options_.budget;
+  const CancelToken run_token = budget.total_s > 0.0
+                                    ? CancelToken::after_seconds(budget.total_s)
+                                    : CancelToken();
 
   // Debug-build stage gates: validate the package before planning and the
   // assignment after each step, so a corrupt artifact aborts loudly at
@@ -94,12 +140,26 @@ FlowResult CodesignFlow::run(const Package& package) const {
   {
     const Timer stage;
     const obs::ScopedSpan span("flow.analyze.initial", "flow");
+    const CancelToken stage_token = run_token.child(budget.analyze_s);
     result.max_density_initial =
         max_density(package, result.initial, options_.routing);
     result.flyline_initial_um = total_flyline_um(package, result.initial);
     if (has_supply) {
-      result.ir_initial = analyze_ir(package, result.initial,
-                                     options_.grid_spec, options_.solver);
+      SolverOptions solver = options_.solver;
+      if (budget.enabled()) solver.cancel = &stage_token;
+      try {
+        result.ir_initial =
+            analyze_ir(package, result.initial, options_.grid_spec, solver);
+        note_ir("analyze_initial", result.ir_initial);
+      } catch (const SolverError& error) {
+        result.ir_initial = IrReport{};
+        degrade("analyze_initial", DegradeReason::AnalysisFailed,
+                error.describe());
+      } catch (const fault::FaultInjected& error) {
+        result.ir_initial = IrReport{};
+        degrade("analyze_initial", DegradeReason::AnalysisFailed,
+                error.describe());
+      }
     }
     result.bonding_initial =
         analyze_bonding(package, result.initial, options_.stacking);
@@ -110,14 +170,39 @@ FlowResult CodesignFlow::run(const Package& package) const {
   {
     const Timer stage;
     const obs::ScopedSpan span("flow.exchange", "flow");
+    const CancelToken stage_token = run_token.child(budget.exchange_s);
     if (options_.run_exchange) {
       ExchangeOptions exchange_options = options_.exchange;
       exchange_options.grid_spec = options_.grid_spec;
       exchange_options.solver = options_.solver;
+      if (budget.enabled()) {
+        exchange_options.schedule.cancel = &stage_token;
+        exchange_options.solver.cancel = &stage_token;
+      }
       const ExchangeOptimizer optimizer(package, exchange_options);
-      ExchangeResult exchanged = optimizer.optimize(result.initial);
-      result.final = std::move(exchanged.assignment);
-      result.anneal = exchanged.anneal;
+      try {
+        ExchangeResult exchanged = optimizer.optimize(result.initial);
+        result.final = std::move(exchanged.assignment);
+        result.anneal = exchanged.anneal;
+        if (result.anneal.stop == AnnealStop::BudgetExpired) {
+          degrade("exchange", DegradeReason::BudgetExpired,
+                  "SA stopped after " +
+                      std::to_string(result.anneal.temperature_steps) +
+                      " temperature step(s)");
+        } else if (result.anneal.stop == AnnealStop::FaultInjected) {
+          degrade("exchange", DegradeReason::ExchangeAborted,
+                  "injected fault at sa.step");
+        }
+      } catch (const SolverError& error) {
+        // Resilience contract: a solver that dies mid-exchange (exact IR
+        // mode) forfeits the optimisation, not the run -- the initial
+        // assignment is still a legal, scored result.
+        result.final = result.initial;
+        degrade("exchange", DegradeReason::ExchangeAborted, error.describe());
+      } catch (const fault::FaultInjected& error) {
+        result.final = result.initial;
+        degrade("exchange", DegradeReason::ExchangeAborted, error.describe());
+      }
     } else {
       result.final = result.initial;
     }
@@ -134,9 +219,23 @@ FlowResult CodesignFlow::run(const Package& package) const {
     result.max_density_final =
         max_density(package, result.final, options_.routing);
     result.flyline_final_um = total_flyline_um(package, result.final);
+    const CancelToken stage_token = run_token.child(budget.analyze_s);
     if (has_supply) {
-      result.ir_final = analyze_ir(package, result.final, options_.grid_spec,
-                                   options_.solver);
+      SolverOptions solver = options_.solver;
+      if (budget.enabled()) solver.cancel = &stage_token;
+      try {
+        result.ir_final =
+            analyze_ir(package, result.final, options_.grid_spec, solver);
+        note_ir("analyze_final", result.ir_final);
+      } catch (const SolverError& error) {
+        result.ir_final = IrReport{};
+        degrade("analyze_final", DegradeReason::AnalysisFailed,
+                error.describe());
+      } catch (const fault::FaultInjected& error) {
+        result.ir_final = IrReport{};
+        degrade("analyze_final", DegradeReason::AnalysisFailed,
+                error.describe());
+      }
     }
     result.bonding_final =
         analyze_bonding(package, result.final, options_.stacking);
@@ -150,6 +249,10 @@ FlowResult CodesignFlow::run(const Package& package) const {
     obs::gauge("flow.max_ir_drop_v", result.ir_final.max_drop_v);
     obs::gauge("flow.omega", result.bonding_final.omega);
     obs::gauge("flow.runtime_s", result.runtime_s);
+    obs::gauge("flow.degraded", result.degraded ? 1.0 : 0.0);
+    for (const DegradeEvent& event : result.degrade_events) {
+      obs::count("flow.degrade." + std::string(to_string(event.reason)));
+    }
     for (const StageTiming& stage : result.stage_timings) {
       obs::gauge("flow.stage." + stage.name + "_s", stage.seconds);
     }
@@ -187,6 +290,15 @@ std::string CodesignFlow::summary(const Package& package,
       if (&stage != &result.stage_timings.back()) out += " |";
     }
     out += "\n";
+  }
+  if (result.degraded) {
+    out += "  DEGRADED      : best-effort result (exit code 3)\n";
+    for (const DegradeEvent& event : result.degrade_events) {
+      out += "    - " + event.stage + ": " +
+             std::string(to_string(event.reason));
+      if (!event.detail.empty()) out += " (" + event.detail + ")";
+      out += "\n";
+    }
   }
   return out;
 }

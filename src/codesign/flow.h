@@ -17,12 +17,52 @@
 #include "power/ir_analysis.h"
 #include "route/density.h"
 #include "stack/stacking.h"
+#include "util/cancel.h"
 
 namespace fp {
 
 enum class AssignmentMethod { Random, Ifa, Dfa };
 
 [[nodiscard]] std::string_view to_string(AssignmentMethod method);
+
+/// Wall-clock budget of one flow run (docs/ROBUSTNESS.md). 0 = unlimited.
+/// The total cap bounds every stage; per-stage caps can only shrink a
+/// stage's window further. Budgets are enforced cooperatively inside the
+/// SA loop, the solver iteration loops and the global-router improvement
+/// passes; on expiry a stage keeps its best-so-far state and the run is
+/// reported as degraded instead of aborted. The assignment step itself is
+/// not preemptible (it is a single combinatorial construction), so very
+/// small totals still pay for one assignment pass.
+struct FlowBudget {
+  /// Whole-run cap in seconds.
+  double total_s = 0.0;
+  /// Cap for the exchange (SA) stage.
+  double exchange_s = 0.0;
+  /// Cap for each of the two analyze stages.
+  double analyze_s = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return total_s > 0.0 || exchange_s > 0.0 || analyze_s > 0.0;
+  }
+};
+
+/// Why a FlowResult is marked degraded (docs/ROBUSTNESS.md).
+enum class DegradeReason {
+  BudgetExpired,      // a stage hit its wall-clock budget
+  SolverFallback,     // IR scoring survived only via the fallback chain
+  SolverUnconverged,  // IR figures are best-so-far, not converged
+  ExchangeAborted,    // the SA run stopped early (fault or error)
+  AnalysisFailed,     // IR scoring failed entirely; drop figures zeroed
+};
+
+[[nodiscard]] std::string_view to_string(DegradeReason reason);
+
+/// One degradation, attributed to the stage that suffered it.
+struct DegradeEvent {
+  std::string stage;  // "exchange", "analyze_initial", "analyze_final"
+  DegradeReason reason = DegradeReason::BudgetExpired;
+  std::string detail;
+};
 
 struct FlowOptions {
   AssignmentMethod method = AssignmentMethod::Dfa;
@@ -38,6 +78,9 @@ struct FlowOptions {
   SolverOptions solver;
   StackingSpec stacking;
   CrossingStrategy routing = CrossingStrategy::Balanced;
+  /// Wall-clock budgets; all-zero (the default) means run to completion
+  /// with bit-identical behaviour to an unbudgeted build.
+  FlowBudget budget;
   /// Run the static analyzer (analysis/check.h) between flow stages and
   /// throw CheckFailure on any Error-severity finding: the package is
   /// checked on entry and the assignment after each step. On by default
@@ -77,6 +120,13 @@ struct FlowResult {
   /// populated (stages that did no work report ~0 s); the same stages are
   /// emitted as "flow.*" spans when tracing is enabled (obs/trace.h).
   std::vector<StageTiming> stage_timings;
+  /// True when any stage delivered best-effort rather than full-quality
+  /// results (budget expiry, solver fallback, injected fault...). The
+  /// assignments are still legal; only their scores/quality may suffer.
+  /// The CLI maps a degraded run to exit code 3 (docs/ROBUSTNESS.md).
+  bool degraded = false;
+  /// What degraded, stage by stage, in execution order.
+  std::vector<DegradeEvent> degrade_events;
 
   /// (1 - IR_after / IR_before) * 100, the paper's Table-3 "improved
   /// IR-drop"; 0 when IR was not evaluated.

@@ -58,6 +58,20 @@ std::string write_flow_report(const Package& package,
   }
   out += "* runtime: " + format_fixed(result.runtime_s, 3) + " s\n\n";
 
+  if (result.degraded) {
+    out += "## Degraded result\n\n";
+    out += "This run delivered best-effort rather than full-quality "
+           "results (docs/ROBUSTNESS.md); the assignments are legal but "
+           "the figures below may be conservative.\n\n";
+    for (const DegradeEvent& event : result.degrade_events) {
+      out += "* " + event.stage + ": " +
+             std::string(to_string(event.reason));
+      if (!event.detail.empty()) out += " — " + event.detail;
+      out += "\n";
+    }
+    out += "\n";
+  }
+
   if (!result.stage_timings.empty()) {
     out += "## Stage timings\n\n";
     out += "| stage | seconds | share |\n";

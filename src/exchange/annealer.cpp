@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/faultpoint.h"
 
 namespace fp {
 namespace {
@@ -19,6 +20,18 @@ const std::vector<std::string>& cooling_columns() {
 }
 
 }  // namespace
+
+std::string_view to_string(AnnealStop stop) {
+  switch (stop) {
+    case AnnealStop::Completed:
+      return "completed";
+    case AnnealStop::BudgetExpired:
+      return "budget_expired";
+    case AnnealStop::FaultInjected:
+      return "fault_injected";
+  }
+  return "unknown";
+}
 
 Annealer::Annealer(SaSchedule schedule) : schedule_(schedule) {
   require(schedule_.initial_temperature > 0.0 &&
@@ -44,6 +57,16 @@ AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
   for (double temperature = schedule_.initial_temperature;
        temperature > schedule_.final_temperature;
        temperature *= schedule_.cooling) {
+    // Budget and fault gates: stop cooling and hand back the best-so-far
+    // state (the caller's state is the last accepted configuration).
+    if (schedule_.cancel && schedule_.cancel->expired()) {
+      result.stop = AnnealStop::BudgetExpired;
+      break;
+    }
+    if (fault::enabled() && fault::triggered("sa.step")) {
+      result.stop = AnnealStop::FaultInjected;
+      break;
+    }
     ++result.temperature_steps;
     // One sample per recorded temperature step, fanned out to every sink:
     // the AnnealResult::trace shim (record_every callers), the metrics
@@ -67,6 +90,13 @@ AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
                     {"accepted", static_cast<double>(result.accepted)}});
     }
     for (int i = 0; i < schedule_.moves_per_temperature; ++i) {
+      // Inner-loop budget poll, every 64 proposals so huge
+      // moves_per_temperature settings still honour the deadline.
+      if (schedule_.cancel && (result.proposed & 63) == 0 &&
+          schedule_.cancel->expired()) {
+        result.stop = AnnealStop::BudgetExpired;
+        break;
+      }
       ++result.proposed;
       const std::optional<double> new_cost = try_move(rng);
       if (!new_cost.has_value()) {
@@ -84,10 +114,12 @@ AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
         undo();
       }
     }
+    if (result.stop != AnnealStop::Completed) break;
   }
   result.final_cost = cost;
   if (obs::metrics_enabled()) {
     obs::count("sa.runs");
+    obs::count("sa.stop." + std::string(to_string(result.stop)));
     obs::count("sa.proposed", result.proposed);
     obs::count("sa.accepted", result.accepted);
     obs::count("sa.rejected_illegal", result.rejected_illegal);

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string_view>
 #include <vector>
 
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace fp {
@@ -28,7 +30,20 @@ struct SaSchedule {
   /// When > 0, one (temperature, cost) sample is recorded every
   /// `record_every` temperature steps (for convergence plots).
   int record_every = 0;
+  /// Cooperative deadline polled every temperature step and every 64
+  /// proposals; on expiry the run stops with its best-so-far state and
+  /// AnnealResult::stop = BudgetExpired. Non-owning; null = unlimited.
+  const CancelToken* cancel = nullptr;
 };
+
+/// Why the annealing loop ended.
+enum class AnnealStop {
+  Completed,      // full cooling schedule ran
+  BudgetExpired,  // SaSchedule::cancel fired: best-so-far state returned
+  FaultInjected,  // the "sa.step" fault site fired (resilience tests)
+};
+
+[[nodiscard]] std::string_view to_string(AnnealStop stop);
 
 /// One point of the recorded cooling curve.
 ///
@@ -50,6 +65,10 @@ struct AnnealResult {
   long long accepted = 0;
   long long rejected_illegal = 0;
   int temperature_steps = 0;
+  /// Completed on the healthy path; BudgetExpired/FaultInjected when the
+  /// run degraded to its best-so-far state (the caller's state is still a
+  /// legal configuration -- every accepted move kept the invariants).
+  AnnealStop stop = AnnealStop::Completed;
   /// Non-empty when SaSchedule::record_every > 0.
   std::vector<AnnealSample> trace;
 };

@@ -1,8 +1,10 @@
 #include "io/assignment_file.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "util/faultpoint.h"
 #include "util/strings.h"
 
 namespace fp {
@@ -38,6 +40,7 @@ void save_assignment(const Package& package,
 }
 
 PackageAssignment read_assignment(std::istream& in, const Package& package) {
+  if (fault::enabled()) fault::check("io.assignment.read");
   PackageAssignment assignment;
   bool saw_header = false;
   bool saw_end = false;
@@ -47,9 +50,9 @@ PackageAssignment read_assignment(std::istream& in, const Package& package) {
     ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    const std::vector<std::string> tokens = split_ws(line);
+    const std::vector<WsToken> tokens = split_ws_cols(line);
     if (tokens.empty()) continue;
-    const std::string& keyword = tokens.front();
+    const std::string& keyword = tokens.front().text;
     if (keyword == "assignment") {
       if (tokens.size() != 2) {
         throw IoError("assignment line " + std::to_string(line_no) +
@@ -65,19 +68,34 @@ PackageAssignment read_assignment(std::istream& in, const Package& package) {
       if (qi >= package.quadrant_count()) {
         throw IoError("assignment: more quadrants than the package has");
       }
-      if (tokens[1] != package.quadrant(qi).name()) {
+      if (tokens[1].text != package.quadrant(qi).name()) {
         throw IoError("assignment line " + std::to_string(line_no) +
-                      ": quadrant '" + tokens[1] + "' does not match the "
-                      "package's quadrant '" + package.quadrant(qi).name() +
-                      "' at position " + std::to_string(qi));
+                      ": quadrant '" + tokens[1].text +
+                      "' does not match the package's quadrant '" +
+                      package.quadrant(qi).name() + "' at position " +
+                      std::to_string(qi));
       }
       QuadrantAssignment qa;
       for (std::size_t i = 2; i < tokens.size(); ++i) {
-        qa.order.push_back(static_cast<NetId>(parse_int(tokens[i])));
+        long long id = 0;
+        try {
+          id = parse_int(tokens[i].text);
+        } catch (const IoError&) {
+          throw IoError("assignment line " + std::to_string(line_no) +
+                        ", column " + std::to_string(tokens[i].column) +
+                        ": malformed net id '" + tokens[i].text + "'");
+        }
+        if (id < 0 || id > std::numeric_limits<NetId>::max()) {
+          throw IoError("assignment line " + std::to_string(line_no) +
+                        ", column " + std::to_string(tokens[i].column) +
+                        ": net id " + std::to_string(id) +
+                        " outside the NetId range");
+        }
+        qa.order.push_back(static_cast<NetId>(id));
       }
       if (!is_permutation_of(qa, package.quadrant(qi))) {
         throw IoError("assignment line " + std::to_string(line_no) +
-                      ": not a permutation of quadrant '" + tokens[1] +
+                      ": not a permutation of quadrant '" + tokens[1].text +
                       "''s nets");
       }
       assignment.quadrants.push_back(std::move(qa));
@@ -86,6 +104,7 @@ PackageAssignment read_assignment(std::istream& in, const Package& package) {
       break;
     } else {
       throw IoError("assignment line " + std::to_string(line_no) +
+                    ", column " + std::to_string(tokens.front().column) +
                     ": unknown keyword '" + keyword + "'");
     }
   }

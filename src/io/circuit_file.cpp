@@ -1,23 +1,69 @@
 #include "io/circuit_file.h"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "util/faultpoint.h"
 #include "util/strings.h"
 
 namespace fp {
 namespace {
 
-NetType parse_net_type(const std::string& token, int line_no) {
-  if (token == "signal") return NetType::Signal;
-  if (token == "power") return NetType::Power;
-  if (token == "ground") return NetType::Ground;
-  throw IoError("circuit line " + std::to_string(line_no) +
-                ": unknown net type '" + token + "'");
-}
-
 [[noreturn]] void fail(int line_no, const std::string& message) {
   throw IoError("circuit line " + std::to_string(line_no) + ": " + message);
+}
+
+[[noreturn]] void fail_at(int line_no, int column, const std::string& message) {
+  throw IoError("circuit line " + std::to_string(line_no) + ", column " +
+                std::to_string(column) + ": " + message);
+}
+
+NetType parse_net_type(const WsToken& token, int line_no) {
+  if (token.text == "signal") return NetType::Signal;
+  if (token.text == "power") return NetType::Power;
+  if (token.text == "ground") return NetType::Ground;
+  fail_at(line_no, token.column, "unknown net type '" + token.text + "'");
+}
+
+/// Bounds-checked integer field. from_chars already rejects values that
+/// overflow long long; this adds the format's own range so a count that
+/// would overflow downstream int arithmetic dies here with a location.
+long long parse_count(const WsToken& token, int line_no, long long lo,
+                      long long hi) {
+  long long value = 0;
+  try {
+    value = parse_int(token.text);
+  } catch (const IoError&) {
+    fail_at(line_no, token.column,
+            "malformed integer '" + token.text + "'");
+  }
+  if (value < lo || value > hi) {
+    fail_at(line_no, token.column,
+            "integer " + std::to_string(value) + " outside [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+/// Geometry field: must parse, be finite (no NaN/Inf smuggled through
+/// from_chars) and positive.
+double parse_positive(const WsToken& token, int line_no) {
+  double value = 0.0;
+  try {
+    value = parse_double(token.text);
+  } catch (const IoError&) {
+    fail_at(line_no, token.column, "malformed number '" + token.text + "'");
+  }
+  if (!std::isfinite(value)) {
+    fail_at(line_no, token.column, "non-finite value '" + token.text + "'");
+  }
+  if (value <= 0.0) {
+    fail_at(line_no, token.column,
+            "value must be positive (got " + token.text + ")");
+  }
+  return value;
 }
 
 }  // namespace
@@ -58,6 +104,7 @@ void save_circuit(const Package& package, const std::string& path) {
 }
 
 Package read_circuit(std::istream& in) {
+  if (fault::enabled()) fault::check("io.circuit.read");
   std::string name;
   PackageGeometry geometry;
   bool saw_circuit = false;
@@ -81,45 +128,51 @@ Package read_circuit(std::istream& in) {
     ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    const std::vector<std::string> tokens = split_ws(line);
+    const std::vector<WsToken> tokens = split_ws_cols(line);
     if (tokens.empty()) continue;
-    const std::string& keyword = tokens.front();
+    const std::string& keyword = tokens.front().text;
 
     if (keyword == "circuit") {
       if (tokens.size() != 2) fail(line_no, "expected: circuit <name>");
-      name = tokens[1];
+      name = tokens[1].text;
       saw_circuit = true;
     } else if (keyword == "geometry") {
       if (tokens.size() != 5) {
         fail(line_no, "expected: geometry <bump> <fw> <fh> <fs>");
       }
-      geometry.bump_space_um = parse_double(tokens[1]);
-      geometry.finger_width_um = parse_double(tokens[2]);
-      geometry.finger_height_um = parse_double(tokens[3]);
-      geometry.finger_space_um = parse_double(tokens[4]);
+      geometry.bump_space_um = parse_positive(tokens[1], line_no);
+      geometry.finger_width_um = parse_positive(tokens[2], line_no);
+      geometry.finger_height_um = parse_positive(tokens[3], line_no);
+      geometry.finger_space_um = parse_positive(tokens[4], line_no);
     } else if (keyword == "net") {
       if (tokens.size() != 5) {
         fail(line_no, "expected: net <id> <name> <type> <tier>");
       }
-      net_ids.push_back(parse_int(tokens[1]));
-      nets.push_back(PendingNet{tokens[2], parse_net_type(tokens[3], line_no),
-                                static_cast<int>(parse_int(tokens[4]))});
+      // Ids are NetId (int32); tiers small. Parsing bounds them here so a
+      // hostile count can't wrap the int arithmetic further down.
+      net_ids.push_back(parse_count(
+          tokens[1], line_no, 0, std::numeric_limits<NetId>::max()));
+      nets.push_back(PendingNet{
+          tokens[2].text, parse_net_type(tokens[3], line_no),
+          static_cast<int>(parse_count(tokens[4], line_no, 0, 1 << 20))});
     } else if (keyword == "quadrant") {
       if (tokens.size() != 2) fail(line_no, "expected: quadrant <name>");
-      quadrants.push_back(PendingQuadrant{tokens[1], {}});
+      quadrants.push_back(PendingQuadrant{tokens[1].text, {}});
     } else if (keyword == "row") {
       if (quadrants.empty()) fail(line_no, "row before any quadrant");
       if (tokens.size() < 2) fail(line_no, "row needs at least one net id");
       std::vector<NetId> row;
       for (std::size_t i = 1; i < tokens.size(); ++i) {
-        row.push_back(static_cast<NetId>(parse_int(tokens[i])));
+        row.push_back(static_cast<NetId>(parse_count(
+            tokens[i], line_no, 0, std::numeric_limits<NetId>::max())));
       }
       quadrants.back().rows.push_back(std::move(row));
     } else if (keyword == "end") {
       saw_end = true;
       break;
     } else {
-      fail(line_no, "unknown keyword '" + keyword + "'");
+      fail_at(line_no, tokens.front().column,
+              "unknown keyword '" + keyword + "'");
     }
   }
 
@@ -137,11 +190,14 @@ Package read_circuit(std::istream& in) {
     }
   }
 
-  Netlist netlist;
-  for (auto& pending : nets) {
-    netlist.add(std::move(pending.name), pending.type, pending.tier);
-  }
+  // All package-model construction sits inside the try: a duplicate net
+  // name or inconsistent tier raises InvalidArgument from the model layer
+  // and must leave here as a structured IoError, not escape raw.
   try {
+    Netlist netlist;
+    for (auto& pending : nets) {
+      netlist.add(std::move(pending.name), pending.type, pending.tier);
+    }
     std::vector<Quadrant> built;
     built.reserve(quadrants.size());
     for (auto& pending : quadrants) {

@@ -31,6 +31,8 @@ IrReport analyze_ir(const Package& package,
   report.supply_pad_count = static_cast<int>(nodes.size());
   report.solver_iterations = solved.iterations;
   report.converged = solved.converged;
+  report.solver_stop = solved.stop;
+  report.solver_attempts = static_cast<int>(solved.attempts.size());
   return report;
 }
 

@@ -21,6 +21,12 @@ struct IrReport {
   int supply_pad_count = 0;
   int solver_iterations = 0;
   bool converged = false;
+  /// Why the (last) solve ended; Budget means a flow budget expired and
+  /// the drop figures are best-so-far, not converged values.
+  SolveStop solver_stop = SolveStop::Converged;
+  /// Backends tried by the fallback chain (1 on the healthy path, more
+  /// when the primary diverged and solve() escalated; 0 = trivial mesh).
+  int solver_attempts = 0;
 };
 
 /// Builds the mesh from `spec` (hotspots may be added via the overload

@@ -3,16 +3,21 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/faultpoint.h"
 
 namespace fp {
 
 PowerGrid::PowerGrid(PowerGridSpec spec) : spec_(spec) {
   require(spec_.nodes_per_side >= 2, "PowerGrid: need at least a 2x2 mesh");
+  require(spec_.nodes_per_side <= 16384,
+          "PowerGrid: mesh side above 16384 (refusing an absurd "
+          "allocation; check the K that reached the spec)");
   require(spec_.sheet_res_x > 0.0 && spec_.sheet_res_y > 0.0,
           "PowerGrid: sheet resistances must be positive");
   require(spec_.total_current_a >= 0.0,
           "PowerGrid: total current must be non-negative");
   require(spec_.vdd > 0.0, "PowerGrid: vdd must be positive");
+  if (fault::enabled()) fault::check("alloc.grid");
   const auto k = static_cast<std::size_t>(spec_.nodes_per_side);
   current_multiplier_ = Grid2D<double>(k, k, 1.0);
   pad_mask_ = Grid2D<unsigned char>(k, k, 0);

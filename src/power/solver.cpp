@@ -1,14 +1,26 @@
 #include "power/solver.h"
 
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/faultpoint.h"
 
 namespace fp {
 namespace {
+
+/// Residual blow-up test shared by every backend: NaN/Inf, or a residual
+/// that grew three orders of magnitude past the best seen while clearly
+/// above O(1). Healthy SPD sweeps decrease monotonically, so this never
+/// fires on a well-posed mesh.
+bool is_diverging(double rel, double best_rel) {
+  if (!std::isfinite(rel)) return true;
+  return rel > 10.0 && rel > 1e3 * best_rel;
+}
 
 /// Dense description of the free-node system A v = b (pads eliminated).
 struct FreeSystem {
@@ -124,8 +136,14 @@ SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
   std::vector<double> x(sys.free_node.size(), grid.spec().vdd);
   std::vector<double> next(jacobi ? x.size() : 0);
 
+  std::optional<SolveStop> special;
+  double best_rel = std::numeric_limits<double>::infinity();
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
+    if (fault::enabled() && fault::triggered("solver.step")) {
+      special = SolveStop::Diverged;  // simulated numeric blow-up
+      break;
+    }
     for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
       const auto [nx0, ny0] = sys.free_node[i];
       double acc = sys.b[i];
@@ -153,14 +171,34 @@ SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
       if (obs::tracing_enabled()) {
         obs::counter("solver.residual", {{"relative_residual", rel}});
       }
+      if (is_diverging(rel, best_rel)) {
+        special = SolveStop::Diverged;
+        ++iter;
+        break;
+      }
+      best_rel = std::min(best_rel, rel);
       if (rel <= options.tolerance) {
+        ++iter;
+        break;
+      }
+      if (options.cancel && options.cancel->expired()) {
+        special = SolveStop::Budget;
         ++iter;
         break;
       }
     }
   }
   SolveResult result = finish(sys, grid, x, iter);
-  result.converged = result.relative_residual <= options.tolerance;
+  result.converged = std::isfinite(result.relative_residual) &&
+                     result.relative_residual <= options.tolerance;
+  if (special == SolveStop::Diverged) {
+    result.converged = false;
+    result.stop = SolveStop::Diverged;
+  } else if (result.converged) {
+    result.stop = SolveStop::Converged;
+  } else {
+    result.stop = special.value_or(SolveStop::IterationLimit);
+  }
   return result;
 }
 
@@ -181,6 +219,8 @@ SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
   for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
 
   const double b_norm = sys.b_norm > 0.0 ? sys.b_norm : 1.0;
+  std::optional<SolveStop> special;
+  double best_rel = std::numeric_limits<double>::infinity();
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
     double r_norm = 0.0;
@@ -189,12 +229,30 @@ SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
     if (obs::tracing_enabled()) {
       obs::counter("solver.residual", {{"relative_residual", rel}});
     }
+    if (fault::enabled() && fault::triggered("solver.step")) {
+      special = SolveStop::Diverged;  // simulated numeric blow-up
+      break;
+    }
+    if (is_diverging(rel, best_rel)) {
+      special = SolveStop::Diverged;
+      break;
+    }
+    best_rel = std::min(best_rel, rel);
     if (rel <= options.tolerance) break;
+    if (options.cancel && (iter & 15) == 0 && options.cancel->expired()) {
+      special = SolveStop::Budget;
+      break;
+    }
 
     apply(sys, grid, p, ap);
     double p_ap = 0.0;
     for (std::size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
-    ensure(p_ap > 0.0, "solve_cg: system is not positive definite");
+    if (!(p_ap > 0.0) || !std::isfinite(p_ap)) {
+      // Lost positive definiteness (ill-conditioned or corrupt mesh):
+      // divergence, so the fallback chain can rescue the solve.
+      special = SolveStop::Diverged;
+      break;
+    }
     const double alpha = rz / p_ap;
     for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i];
     for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
@@ -206,7 +264,16 @@ SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
   SolveResult result = finish(sys, grid, x, iter);
-  result.converged = result.relative_residual <= options.tolerance;
+  result.converged = std::isfinite(result.relative_residual) &&
+                     result.relative_residual <= options.tolerance;
+  if (special == SolveStop::Diverged) {
+    result.converged = false;
+    result.stop = SolveStop::Diverged;
+  } else if (result.converged) {
+    result.stop = SolveStop::Converged;
+  } else {
+    result.stop = special.value_or(SolveStop::IterationLimit);
+  }
   return result;
 }
 
@@ -275,9 +342,15 @@ class MultigridSolver {
 
   SolveResult run() {
     const double b_norm = norm(levels_.front().b);
+    std::optional<SolveStop> special;
+    double best_rel = std::numeric_limits<double>::infinity();
     int cycles = 0;
     double rel = 1.0;
     for (; cycles < options_.max_iterations; ++cycles) {
+      if (fault::enabled() && fault::triggered("solver.step")) {
+        special = SolveStop::Diverged;  // simulated numeric blow-up
+        break;
+      }
       v_cycle(0);
       residual(levels_.front());
       rel = b_norm > 0.0 ? norm(levels_.front().r) / b_norm
@@ -285,7 +358,18 @@ class MultigridSolver {
       if (obs::tracing_enabled()) {
         obs::counter("solver.residual", {{"relative_residual", rel}});
       }
+      if (is_diverging(rel, best_rel)) {
+        special = SolveStop::Diverged;
+        ++cycles;
+        break;
+      }
+      best_rel = std::min(best_rel, rel);
       if (rel <= options_.tolerance) {
+        ++cycles;
+        break;
+      }
+      if (options_.cancel && options_.cancel->expired()) {
+        special = SolveStop::Budget;
         ++cycles;
         break;
       }
@@ -300,7 +384,16 @@ class MultigridSolver {
     }
     result.iterations = cycles;
     result.relative_residual = rel;
-    result.converged = rel <= options_.tolerance;
+    result.converged =
+        std::isfinite(rel) && rel <= options_.tolerance;
+    if (special == SolveStop::Diverged) {
+      result.converged = false;
+      result.stop = SolveStop::Diverged;
+    } else if (result.converged) {
+      result.stop = SolveStop::Converged;
+    } else {
+      result.stop = special.value_or(SolveStop::IterationLimit);
+    }
     return result;
   }
 
@@ -478,9 +571,28 @@ std::string_view to_string(SolveStop stop) {
       return "iteration_limit";
     case SolveStop::Trivial:
       return "trivial";
+    case SolveStop::Diverged:
+      return "diverged";
+    case SolveStop::Budget:
+      return "budget";
   }
   return "unknown";
 }
+
+namespace {
+
+SolveResult run_backend(const FreeSystem& sys, const PowerGrid& grid,
+                        const SolverOptions& options) {
+  if (options.kind == SolverKind::ConjugateGradient) {
+    return solve_cg(sys, grid, options);
+  }
+  if (options.kind == SolverKind::Multigrid) {
+    return MultigridSolver(grid, options).run();
+  }
+  return solve_relaxation(sys, grid, options);
+}
+
+}  // namespace
 
 SolveResult solve(const PowerGrid& grid, const SolverOptions& options) {
   require(!grid.pads().empty(),
@@ -497,16 +609,40 @@ SolveResult solve(const PowerGrid& grid, const SolverOptions& options) {
     result.voltage = Grid2D<double>(k, k, grid.spec().vdd);
     result.converged = true;
     result.stop = SolveStop::Trivial;
-  } else if (options.kind == SolverKind::ConjugateGradient) {
-    result = solve_cg(sys, grid, options);
-  } else if (options.kind == SolverKind::Multigrid) {
-    result = MultigridSolver(grid, options).run();
   } else {
-    result = solve_relaxation(sys, grid, options);
-  }
-  if (result.stop != SolveStop::Trivial) {
-    result.stop =
-        result.converged ? SolveStop::Converged : SolveStop::IterationLimit;
+    // Fallback chain: the requested backend first, then the progressively
+    // more robust relaxations. On the healthy path the chain runs exactly
+    // one backend and the result is bit-identical to a chain-free solve.
+    std::vector<SolverKind> chain{options.kind};
+    if (options.fallback) {
+      for (const SolverKind next :
+           {SolverKind::Sor, SolverKind::GaussSeidel}) {
+        bool present = false;
+        for (const SolverKind kind : chain) present |= kind == next;
+        if (!present) chain.push_back(next);
+      }
+    }
+    std::vector<SolveAttempt> attempts;
+    for (std::size_t ci = 0; ci < chain.size(); ++ci) {
+      SolverOptions attempt_options = options;
+      attempt_options.kind = chain[ci];
+      result = run_backend(sys, grid, attempt_options);
+      attempts.push_back(SolveAttempt{chain[ci], result.iterations,
+                                      result.relative_residual, result.stop});
+      if (result.stop != SolveStop::Diverged) break;
+      if (obs::metrics_enabled()) obs::count("solver.fallbacks");
+      if (ci + 1 == chain.size()) {
+        std::string what = "solve: every backend diverged:";
+        for (const SolveAttempt& attempt : attempts) {
+          what += " " + std::string(to_string(attempt.kind)) + "(iter " +
+                  std::to_string(attempt.iterations) + ")";
+        }
+        SolverError error(what);
+        error.add_context("solver.fallback");
+        throw error;
+      }
+    }
+    result.attempts = std::move(attempts);
   }
   if (obs::metrics_enabled()) {
     obs::count("solver.solves");
@@ -520,12 +656,20 @@ SolveResult solve(const PowerGrid& grid, const SolverOptions& options) {
 }
 
 double max_ir_drop(const PowerGrid& grid, const SolveResult& result) {
+  require(result.stop != SolveStop::Diverged,
+          "max_ir_drop: the solve diverged and its voltage field is "
+          "meaningless; keep SolverOptions::fallback on or inspect "
+          "SolveResult::attempts");
   double lowest = grid.spec().vdd;
   for (const double v : result.voltage.data()) lowest = std::min(lowest, v);
   return grid.spec().vdd - lowest;
 }
 
 double mean_ir_drop(const PowerGrid& grid, const SolveResult& result) {
+  require(result.stop != SolveStop::Diverged,
+          "mean_ir_drop: the solve diverged and its voltage field is "
+          "meaningless; keep SolverOptions::fallback on or inspect "
+          "SolveResult::attempts");
   double total = 0.0;
   for (const double v : result.voltage.data()) total += grid.spec().vdd - v;
   return result.voltage.size() > 0

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "geom/grid2d.h"
 #include "power/power_grid.h"
+#include "util/cancel.h"
 
 namespace fp {
 
@@ -33,6 +35,18 @@ struct SolverOptions {
   int max_iterations = 50000;
   /// Over-relaxation factor, used by Sor only.
   double sor_omega = 1.8;
+  /// When the chosen backend diverges (NaN or blowing-up residual),
+  /// escalate through the fallback chain (ConjugateGradient -> Sor ->
+  /// GaussSeidel) instead of returning garbage; the attempt history lands
+  /// in SolveResult::attempts. solve() throws SolverError when every
+  /// backend in the chain diverges. Divergence never happens on the SPD
+  /// meshes of power_grid.h, so this default does not change healthy
+  /// results.
+  bool fallback = true;
+  /// Cooperative deadline: the iteration loops poll it every few sweeps
+  /// and return best-so-far (stop = Budget, converged = false) on expiry.
+  /// Non-owning; null = unlimited.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Why the solve loop ended (telemetry; `converged` stays the API truth).
@@ -40,9 +54,19 @@ enum class SolveStop {
   Converged,       // residual reached the tolerance
   IterationLimit,  // max_iterations exhausted before converging
   Trivial,         // every node is a pad: the field is exactly Vdd
+  Diverged,        // NaN or growing residual: the field is garbage
+  Budget,          // SolverOptions::cancel expired: best-so-far returned
 };
 
 [[nodiscard]] std::string_view to_string(SolveStop stop);
+
+/// One backend run of the fallback chain (see SolveResult::attempts).
+struct SolveAttempt {
+  SolverKind kind = SolverKind::ConjugateGradient;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  SolveStop stop = SolveStop::IterationLimit;
+};
 
 struct SolveResult {
   Grid2D<double> voltage;  // volts at every node
@@ -50,18 +74,25 @@ struct SolveResult {
   double relative_residual = 0.0;
   bool converged = false;
   SolveStop stop = SolveStop::IterationLimit;
+  /// Fallback-chain history, one entry per backend tried by solve()
+  /// (size 1 on the healthy path; empty for the trivial all-pads case).
+  std::vector<SolveAttempt> attempts;
 };
 
 /// Solves for the node voltages. Throws InvalidArgument when the grid has
-/// no pads (the system would be singular).
+/// no pads (the system would be singular) and SolverError when every
+/// backend of the fallback chain diverges.
 [[nodiscard]] SolveResult solve(const PowerGrid& grid,
                                 const SolverOptions& options = {});
 
-/// Worst IR-drop: Vdd minus the lowest node voltage (volts).
+/// Worst IR-drop: Vdd minus the lowest node voltage (volts). Requires a
+/// non-diverged result (converged, iteration-limited, budget-expired or
+/// trivial); a Diverged voltage field is garbage and reading it silently
+/// was a misuse risk, so it throws InvalidArgument instead.
 [[nodiscard]] double max_ir_drop(const PowerGrid& grid,
                                  const SolveResult& result);
 
-/// Mean IR-drop over all nodes (volts).
+/// Mean IR-drop over all nodes (volts). Same precondition as max_ir_drop.
 [[nodiscard]] double mean_ir_drop(const PowerGrid& grid,
                                   const SolveResult& result);
 

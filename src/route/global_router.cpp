@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "route/legality.h"
+#include "util/faultpoint.h"
 
 namespace fp {
 namespace {
@@ -224,7 +225,18 @@ GlobalRouteConfig GlobalRouter::improve(
   long long candidates_tried = 0;
   long long moves_taken = 0;
   int passes = 0;
+  bool aborted = false;
   for (int pass = 0; pass < options_.max_passes; ++pass) {
+    // Budget and fault gates: the configuration reached so far is legal,
+    // so an early return degrades quality, never correctness.
+    if (options_.cancel && options_.cancel->expired()) {
+      aborted = true;
+      break;
+    }
+    if (fault::enabled() && fault::triggered("router.pass")) {
+      aborted = true;
+      break;
+    }
     ++passes;
     bool changed = false;
     for (int a = 0; a < assignment.size(); ++a) {
@@ -261,6 +273,7 @@ GlobalRouteConfig GlobalRouter::improve(
   }
   if (obs::metrics_enabled()) {
     obs::count("groute.improves");
+    if (aborted) obs::count("groute.aborted");
     obs::count("groute.passes", passes);
     obs::count("groute.candidates", candidates_tried);
     obs::count("groute.moves", moves_taken);

@@ -36,6 +36,7 @@
 
 #include "package/assignment.h"
 #include "package/quadrant.h"
+#include "util/cancel.h"
 
 namespace fp {
 
@@ -69,6 +70,10 @@ class GlobalRouter {
   struct Options {
     int max_passes = 16;
     bool allow_corner_shift = true;
+    /// Cooperative deadline polled before every improvement pass; on
+    /// expiry improve() returns the best configuration reached so far
+    /// (always legal, never worse than fixed_config). Non-owning.
+    const CancelToken* cancel = nullptr;
   };
 
   GlobalRouter() : options_(Options{}) {}

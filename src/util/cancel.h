@@ -1,0 +1,78 @@
+// Cooperative cancellation/deadline token backing FlowOptions::budget.
+//
+// A CancelToken either never expires (default) or carries a steady-clock
+// deadline; long-running loops (the SA inner loop, solver iterations,
+// global-router improvement passes) poll `expired()` every few dozen
+// steps and return their best-so-far state when it fires. The token is a
+// plain value -- the flow is single-threaded, so no atomics are needed;
+// stages hand non-owning pointers down to the loops they budget.
+//
+// `child(seconds)` derives a per-stage token whose deadline is the
+// tighter of the parent's deadline and now + seconds, which is how a
+// total-run budget caps every stage while a per-stage budget can only
+// shrink the window further. Budget semantics are documented in
+// docs/ROBUSTNESS.md.
+#pragma once
+
+#include <chrono>
+
+namespace fp {
+
+class CancelToken {
+ public:
+  /// A token that never expires.
+  CancelToken() = default;
+
+  /// Expires `seconds` from now; `seconds` <= 0 is already expired.
+  [[nodiscard]] static CancelToken after_seconds(double seconds) {
+    CancelToken token;
+    token.has_deadline_ = true;
+    token.deadline_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    return token;
+  }
+
+  /// The tighter of this token's deadline and now + `seconds`;
+  /// `seconds` <= 0 means "no extra stage limit" and returns a copy.
+  [[nodiscard]] CancelToken child(double seconds) const {
+    if (seconds <= 0.0) return *this;
+    CancelToken token = CancelToken::after_seconds(seconds);
+    token.cancelled_ = cancelled_;
+    if (has_deadline_ && deadline_ < token.deadline_) {
+      token.deadline_ = deadline_;
+    }
+    return token;
+  }
+
+  /// Manual cancellation, independent of any deadline.
+  void cancel() { cancelled_ = true; }
+
+  /// True when cancelled or past the deadline. Cheap enough for
+  /// every-few-iterations polling (one clock read).
+  [[nodiscard]] bool expired() const {
+    if (cancelled_) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// True when this token can ever expire (deadline set or cancelled);
+  /// loops may skip the clock read entirely for unlimited tokens.
+  [[nodiscard]] bool limited() const { return has_deadline_ || cancelled_; }
+
+  /// Seconds until expiry; 0 when expired, a large value when unlimited.
+  [[nodiscard]] double remaining_s() const {
+    if (cancelled_) return 0.0;
+    if (!has_deadline_) return 1e30;
+    const double left =
+        std::chrono::duration<double>(deadline_ - Clock::now()).count();
+    return left > 0.0 ? left : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  bool cancelled_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace fp

@@ -1,0 +1,149 @@
+#include "util/faultpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/strings.h"
+
+namespace fp::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct ArmedSite {
+  long long after = 1;
+  long long times = 1;  // 0 = unlimited
+  long long hits = 0;
+  long long fired = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, ArmedSite, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+/// "after=N" / "times=M" fields of one spec entry.
+long long parse_field(std::string_view field, std::string_view key,
+                      std::string_view entry) {
+  const std::string_view value = field.substr(key.size() + 1);
+  try {
+    const long long parsed = parse_int(value);
+    require(parsed >= 0, "");
+    return parsed;
+  } catch (const Error&) {
+    throw InvalidArgument("fault::arm: malformed " + std::string(key) +
+                          " in '" + std::string(entry) + "'");
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& registered_sites() {
+  static const std::vector<std::string_view> sites{
+      "io.circuit.read",    // read_circuit entry (malformed/unreadable file)
+      "io.assignment.read", // read_assignment entry
+      "alloc.grid",         // PowerGrid construction (mesh allocation)
+      "solver.step",        // one solver iteration diverges
+      "sa.step",            // one SA temperature step aborts the anneal
+      "router.pass",        // one global-router improvement pass aborts
+  };
+  return sites;
+}
+
+void arm(std::string_view spec) {
+  for (const std::string& entry : split(spec, ',')) {
+    const std::string_view trimmed = trim(entry);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> parts = split(trimmed, ':');
+    require(parts.size() >= 2,
+            "fault::arm: expected 'site:after=N[:times=M]', got '" +
+                std::string(trimmed) + "'");
+    const std::string& site = parts.front();
+    bool known = false;
+    for (const std::string_view registered : registered_sites()) {
+      if (site == registered) known = true;
+    }
+    if (!known) {
+      throw InvalidArgument("fault::arm: unknown site '" + site +
+                            "' (see fault::registered_sites())");
+    }
+    ArmedSite armed;
+    bool saw_after = false;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      if (starts_with(parts[i], "after=")) {
+        armed.after = parse_field(parts[i], "after", trimmed);
+        require(armed.after >= 1, "fault::arm: after must be >= 1 in '" +
+                                      std::string(trimmed) + "'");
+        saw_after = true;
+      } else if (starts_with(parts[i], "times=")) {
+        armed.times = parse_field(parts[i], "times", trimmed);
+      } else {
+        throw InvalidArgument("fault::arm: unknown field '" + parts[i] +
+                              "' in '" + std::string(trimmed) + "'");
+      }
+    }
+    require(saw_after, "fault::arm: missing after=N in '" +
+                           std::string(trimmed) + "'");
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.sites[site] = armed;
+    detail::g_armed.store(true, std::memory_order_relaxed);
+  }
+}
+
+void arm_from_env() {
+  if (const char* env = std::getenv("FPKIT_FAULTS")) arm(env);
+}
+
+void disarm() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::vector<SiteStatus> status() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<SiteStatus> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, armed] : reg.sites) {
+    out.push_back(SiteStatus{site, armed.after, armed.times, armed.hits,
+                             armed.fired});
+  }
+  return out;
+}
+
+bool triggered(std::string_view site) {
+  if (!enabled()) return false;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return false;
+  ArmedSite& armed = it->second;
+  ++armed.hits;
+  if (armed.hits < armed.after) return false;
+  if (armed.times != 0 && armed.fired >= armed.times) return false;
+  ++armed.fired;
+  return true;
+}
+
+void check(std::string_view site) {
+  if (triggered(site)) {
+    FaultInjected error("deterministic fault injected at site '" +
+                        std::string(site) + "'");
+    error.add_context("site=" + std::string(site));
+    throw error;
+  }
+}
+
+}  // namespace fp::fault

@@ -1,0 +1,88 @@
+// Deterministic fault injection: a registry of named sites compiled into
+// the pipeline's hot paths, armed only in resilience tests and chaos
+// drills.
+//
+// Disarmed (the default), every site costs one relaxed atomic load and a
+// branch -- the same pattern as the observability layer (src/obs/), so
+// production binaries carry the sites for free and a disarmed run is
+// bit-identical to a build without them. Arming is fully deterministic:
+// `site:after=N` fires on the N-th pass through the site (optionally
+// `:times=M` for M consecutive firings, M=0 meaning "every pass from N
+// on"), so a failing injection run replays exactly.
+//
+// Two firing styles cover both failure shapes the flow must survive:
+//   * fault::check(site)     -- throws FaultInjected (code FP-FAULT) with
+//                               the site in the context chain; used where
+//                               the real failure would be an exception
+//                               (file reads, allocation).
+//   * fault::triggered(site) -- returns true once armed and due; used
+//                               inside loops that degrade instead of
+//                               throwing (solver divergence, SA abort,
+//                               router pass abort).
+//
+// Arm via the FPKIT_FAULTS environment variable or `fpkit --inject`;
+// the site catalog lives in docs/ROBUSTNESS.md.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fp::fault {
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True when at least one site is armed (one relaxed load). Guard every
+/// site with this before calling check()/triggered().
+inline bool enabled() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Thrown by check() when an armed site fires.
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(const std::string& what)
+      : Error(what, ErrorCode::FaultInjected) {}
+};
+
+/// The full site catalog (every name check()/triggered() is called with);
+/// arm() rejects names outside it so typos surface immediately.
+[[nodiscard]] const std::vector<std::string_view>& registered_sites();
+
+/// Arms sites from a spec "site:after=N[:times=M][,site:after=N...]".
+/// N >= 1 counts passes through the site; M >= 0 counts firings (default
+/// 1, 0 = unlimited). Throws InvalidArgument on unknown sites or
+/// malformed specs. Arming is cumulative; re-arming a site resets it.
+void arm(std::string_view spec);
+
+/// arm(getenv("FPKIT_FAULTS")) when the variable is set; no-op otherwise.
+void arm_from_env();
+
+/// Disarms every site and drops all counters.
+void disarm();
+
+/// Snapshot of one armed site's counters (tests and diagnostics).
+struct SiteStatus {
+  std::string site;
+  long long after = 0;  // pass number of the first firing (1-based)
+  long long times = 1;  // firing quota, 0 = unlimited
+  long long hits = 0;   // passes observed so far
+  long long fired = 0;  // firings so far
+};
+
+[[nodiscard]] std::vector<SiteStatus> status();
+
+/// Counts one pass through `site`; true when the site is armed and due.
+/// Unarmed sites (or unknown names) always return false.
+[[nodiscard]] bool triggered(std::string_view site);
+
+/// Like triggered(), but throws FaultInjected with "site=<name>" context
+/// when the site fires.
+void check(std::string_view site);
+
+}  // namespace fp::fault

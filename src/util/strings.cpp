@@ -44,6 +44,21 @@ std::vector<std::string> split_ws(std::string_view s) {
   return out;
 }
 
+std::vector<WsToken> split_ws_cols(std::string_view s) {
+  std::vector<WsToken> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) {
+      out.push_back(WsToken{std::string(s.substr(start, i - start)),
+                            static_cast<int>(start) + 1});
+    }
+  }
+  return out;
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {

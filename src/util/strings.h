@@ -16,6 +16,16 @@ namespace fp {
 /// Splits on runs of ASCII whitespace; never yields empty fields.
 [[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
 
+/// A whitespace-split token plus its 1-based column in the source line,
+/// so parsers can point diagnostics at the exact field (io/*_file.cpp).
+struct WsToken {
+  std::string text;
+  int column = 0;
+};
+
+/// split_ws with source columns preserved.
+[[nodiscard]] std::vector<WsToken> split_ws_cols(std::string_view s);
+
 /// Joins `parts` with `sep` between elements.
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);

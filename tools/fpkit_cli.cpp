@@ -19,9 +19,19 @@
 // threshold (util/log.h). Tracing is off by default and does not change
 // any numeric result.
 //
-// Exit code 0 on success; errors print to stderr and return 1. `check`
-// exits 1 when any Error-severity rule fires (with --strict, warnings
-// fail too).
+// Resilience flags (docs/ROBUSTNESS.md):
+//   --budget S             whole-run wall-clock budget in seconds
+//   --budget-exchange S    cap for the SA exchange stage
+//   --budget-analyze S     cap for each IR-analysis stage
+//   --inject SPEC          arm fault-injection sites, e.g.
+//                          "solver.step:after=3:times=1" [env FPKIT_FAULTS]
+//
+// Exit-code contract (stable; see docs/ROBUSTNESS.md):
+//   0  success
+//   1  `check`/`info --lint` found rule violations
+//   2  invalid input (bad flags, malformed circuit/assignment files)
+//   3  the flow finished but degraded (budget expiry, solver fallback...)
+//   4  internal error (broken invariant, exhausted solver chain, fault)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -46,6 +56,7 @@
 #include "route/router.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/faultpoint.h"
 
 namespace {
 
@@ -74,8 +85,15 @@ int usage() {
                "observability (any subcommand; see docs/OBSERVABILITY.md):\n"
                "  --trace <t.json>    span trace (Perfetto/chrome://tracing)"
                " [env FPKIT_TRACE]\n"
-               "  --metrics <m.json>  counters/gauges/histograms snapshot\n");
-  return 1;
+               "  --metrics <m.json>  counters/gauges/histograms snapshot\n"
+               "resilience (any subcommand; see docs/ROBUSTNESS.md):\n"
+               "  --budget S [--budget-exchange S] [--budget-analyze S]"
+               "  wall-clock caps\n"
+               "  --inject <site:after=N[:times=M][,...]>  deterministic"
+               " faults [env FPKIT_FAULTS]\n"
+               "exit codes: 0 ok, 1 check violations, 2 invalid input, "
+               "3 degraded result, 4 internal error\n");
+  return 2;
 }
 
 AssignmentMethod parse_method(const std::string& name) {
@@ -103,7 +121,19 @@ FlowOptions flow_options(const ArgParser& args) {
   options.exchange.rho = args.get_double("rho", 2.0);
   options.exchange.phi = args.get_double("phi", 1.0);
   options.exchange.schedule.seed = options.random_seed;
+  options.budget.total_s = args.get_double("budget", 0.0);
+  options.budget.exchange_s = args.get_double("budget-exchange", 0.0);
+  options.budget.analyze_s = args.get_double("budget-analyze", 0.0);
   return options;
+}
+
+/// 0 ok / 3 degraded, plus a stderr note so scripted callers notice.
+int flow_exit(const FlowResult& result) {
+  if (!result.degraded) return 0;
+  std::fprintf(stderr,
+               "fpkit: degraded result (%zu event(s); exit code 3)\n",
+               result.degrade_events.size());
+  return 3;
 }
 
 int cmd_generate(const ArgParser& args) {
@@ -169,7 +199,7 @@ int cmd_plan(const ArgParser& args) {
     save_flow_report(package, options, result, report);
     std::printf("wrote %s\n", report.c_str());
   }
-  return 0;
+  return flow_exit(result);
 }
 
 int cmd_route(const ArgParser& args) {
@@ -239,7 +269,7 @@ int cmd_ir(const ArgParser& args) {
     save_ir_heatmap_svg(grid, solve(grid), package.name(), heatmap);
     std::printf("wrote %s\n", heatmap.c_str());
   }
-  return 0;
+  return flow_exit(result);
 }
 
 int cmd_check(const ArgParser& args) {
@@ -357,6 +387,22 @@ void save_observability(const ObsPaths& paths) {
   }
 }
 
+/// The documented exit-code contract: bad input is the caller's fault
+/// (2), everything else that escapes as an exception is internal (4).
+int exit_code_for(const fp::Error& error) {
+  switch (error.code()) {
+    case ErrorCode::InvalidInput:
+    case ErrorCode::Io:
+      return 2;
+    case ErrorCode::Internal:
+    case ErrorCode::Check:
+    case ErrorCode::Solver:
+    case ErrorCode::FaultInjected:
+      return 4;
+  }
+  return 4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -366,17 +412,21 @@ int main(int argc, char** argv) {
   try {
     const ArgParser args(argc - 1, argv + 1);
     obs_paths = arm_observability(args);
+    fault::arm_from_env();
+    const std::string inject = args.get_string("inject", "");
+    if (!inject.empty()) fault::arm(inject);
     const int code = dispatch(command, args);
     save_observability(obs_paths);
     return code;
   } catch (const fp::Error& e) {
-    std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(), e.what());
+    std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(),
+                 e.describe().c_str());
     try {
       save_observability(obs_paths);
     } catch (const fp::Error& save_error) {
       std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(),
                    save_error.what());
     }
-    return 1;
+    return exit_code_for(e);
   }
 }
