@@ -2,12 +2,23 @@
 // and figure is regenerated from one consistent parameterisation.
 #pragma once
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "assign/dfa.h"
 #include "codesign/flow.h"
+#include "exec/exec.h"
 #include "exchange/exchange.h"
 #include "package/circuit_generator.h"
 #include "power/power_grid.h"
+#include "power/solver.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/timer.h"
 
 namespace fp::bench {
 
@@ -49,5 +60,130 @@ inline ExchangeOptions standard_exchange(std::uint64_t seed = 7) {
 
 /// Output directory for SVG artefacts (current working directory).
 inline std::string artefact_path(const std::string& name) { return name; }
+
+// ------------------------------------------------- parallel scaling ----
+//
+// The --json mode shared by bench_scaling and bench_perf_kernels: time
+// the two headline parallel workloads (a large-mesh CG solve and a
+// multi-start SA run) at growing worker counts and write the
+// fpkit.bench.parallel.v1 JSON consumed by CI (BENCH_parallel.json).
+
+/// One measurement: a named workload at one thread count.
+struct ParallelSample {
+  std::string name;
+  int threads = 1;
+  double wall_s = 0.0;
+  /// Wall-time ratio vs the 1-thread run of the same workload.
+  double speedup = 1.0;
+};
+
+/// The thread counts to sweep: 1, 2, 4 and every hardware thread,
+/// deduplicated and sorted (a single-core machine just measures 1).
+inline std::vector<int> scaling_thread_counts() {
+  std::vector<int> counts{1, 2, 4, exec::hardware_threads()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  counts.erase(std::remove_if(counts.begin(), counts.end(),
+                              [](int c) {
+                                return c > exec::hardware_threads() && c != 1;
+                              }),
+               counts.end());
+  if (counts.empty() || counts.front() != 1) counts.insert(counts.begin(), 1);
+  return counts;
+}
+
+/// Times the mesh solve (`solve_cg_<mesh>`) and the `restarts`-replica SA
+/// (`sa_multistart_<restarts>`) at each scaling thread count. Restores
+/// the caller's thread count on return. Results are deterministic per
+/// workload -- only the wall times vary with the thread count.
+inline std::vector<ParallelSample> run_parallel_scaling(int mesh = 256,
+                                                        int restarts = 8) {
+  // Workload 1: one CG solve of a mesh x mesh power grid with a ring of
+  // supply pads (the flow's analyze-stage kernel, scaled up).
+  PowerGridSpec spec = standard_grid();
+  spec.nodes_per_side = mesh;
+  PowerGrid grid(spec);
+  std::vector<IPoint> pads;
+  for (int i = 0; i < 16; ++i) {
+    pads.push_back(ring_slot_node(i * 8, 128, grid.k()));
+  }
+  grid.set_pads(pads);
+  SolverOptions solver;
+  solver.kind = SolverKind::ConjugateGradient;
+  solver.tolerance = 1e-8;
+  solver.max_iterations = 4000;
+
+  // Workload 2: multi-start SA over a Table-1 circuit (the flow's
+  // exchange-stage kernel with parallel replicas).
+  const Package package =
+      CircuitGenerator::generate(CircuitGenerator::table1(2));
+  const PackageAssignment initial = DfaAssigner().assign(package);
+  ExchangeOptions exchange = standard_exchange();
+  exchange.schedule.moves_per_temperature = 128;
+
+  struct Workload {
+    std::string name;
+    std::function<void()> run;
+  };
+  const std::vector<Workload> workloads{
+      {"solve_cg_" + std::to_string(mesh),
+       [&] { (void)solve(grid, solver); }},
+      {"sa_multistart_" + std::to_string(restarts),
+       [&] {
+         (void)ExchangeOptimizer(package, exchange)
+             .optimize_multistart(initial, restarts);
+       }},
+  };
+
+  const int saved_threads = exec::default_threads();
+  std::vector<ParallelSample> samples;
+  for (const Workload& workload : workloads) {
+    double base_s = 0.0;
+    for (const int threads : scaling_thread_counts()) {
+      exec::set_default_threads(threads);
+      const Timer timer;
+      workload.run();
+      const double wall_s = timer.seconds();
+      if (threads == 1) base_s = wall_s;
+      samples.push_back(ParallelSample{
+          workload.name, threads, wall_s,
+          wall_s > 0.0 && base_s > 0.0 ? base_s / wall_s : 1.0});
+    }
+  }
+  exec::set_default_threads(saved_threads);
+  return samples;
+}
+
+/// Writes the fpkit.bench.parallel.v1 document (BENCH_parallel.json).
+inline void save_parallel_json(const std::vector<ParallelSample>& samples,
+                               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"fpkit.bench.parallel.v1\",\n";
+  out << "  \"hardware_threads\": " << exec::hardware_threads() << ",\n";
+  out << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const ParallelSample& s = samples[i];
+    out << "    {\"name\": \"" << s.name << "\", \"threads\": " << s.threads
+        << ", \"wall_s\": " << format_fixed(s.wall_s, 6)
+        << ", \"speedup\": " << format_fixed(s.speedup, 3) << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  require(out.good(), "bench: cannot write '" + path + "'");
+}
+
+/// Runs the scaling sweep and writes `path`, echoing a short table to
+/// stdout so logs stay readable without the JSON file.
+inline void emit_parallel_json(const std::string& path) {
+  const std::vector<ParallelSample> samples = run_parallel_scaling();
+  save_parallel_json(samples, path);
+  std::printf("parallel scaling (%d hardware thread(s)):\n",
+              exec::hardware_threads());
+  for (const ParallelSample& s : samples) {
+    std::printf("  %-20s threads=%d  %8.3f s  speedup %.2fx\n",
+                s.name.c_str(), s.threads, s.wall_s, s.speedup);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace fp::bench

@@ -1,13 +1,18 @@
 // Google-benchmark microbenchmarks of the core kernels, backing the
 // paper's "runtimes for all cases are within seconds" claim: the three
 // assigners, the congestion estimator, the Eq.-(1) solvers and the full
-// co-design flow.
+// co-design flow. The *Threads benchmarks sweep the exec worker-pool
+// size; `--json [path]` additionally writes the fpkit.bench.parallel.v1
+// scaling document (BENCH_parallel.json, see bench_common.h).
 #include <benchmark/benchmark.h>
+
+#include <string_view>
 
 #include "assign/dfa.h"
 #include "assign/ifa.h"
 #include "assign/random_assigner.h"
 #include "bench_common.h"
+#include "exec/exec.h"
 #include "route/density.h"
 #include "route/router.h"
 
@@ -90,6 +95,53 @@ BENCHMARK(BM_Solver)
     ->ArgsProduct({{0, 1, 2, 3, 4}, {16, 32, 48}})
     ->ArgNames({"kind", "k"});
 
+/// 128 x 128 CG solve at a fixed worker-pool size: the analyze-stage
+/// kernel whose dot products and axpy sweeps fan out over the pool.
+void BM_SolverCgThreads(benchmark::State& state) {
+  PowerGridSpec spec = bench::standard_grid();
+  spec.nodes_per_side = 128;
+  PowerGrid grid(spec);
+  std::vector<IPoint> pads;
+  for (int i = 0; i < 16; ++i) {
+    pads.push_back(ring_slot_node(i * 8, 128, grid.k()));
+  }
+  grid.set_pads(pads);
+  SolverOptions options;
+  options.kind = SolverKind::ConjugateGradient;
+  options.tolerance = 1e-8;
+  const int saved_threads = exec::default_threads();
+  exec::set_default_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve(grid, options));
+  }
+  exec::set_default_threads(saved_threads);
+}
+BENCHMARK(BM_SolverCgThreads)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
+/// 8-replica multi-start SA at a fixed worker-pool size: the replicas
+/// run concurrently; the selected winner is thread-count independent.
+void BM_MultistartSaThreads(benchmark::State& state) {
+  const Package& package = circuit(2);
+  const PackageAssignment initial = DfaAssigner().assign(package);
+  ExchangeOptions options = bench::standard_exchange();
+  options.schedule.moves_per_temperature = 16;
+  options.schedule.cooling = 0.9;
+  const ExchangeOptimizer optimizer(package, options);
+  const int saved_threads = exec::default_threads();
+  exec::set_default_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize_multistart(initial, 8));
+  }
+  exec::set_default_threads(saved_threads);
+}
+BENCHMARK(BM_MultistartSaThreads)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FullFlow(benchmark::State& state) {
   const Package& package = circuit(static_cast<int>(state.range(0)));
   FlowOptions options;
@@ -107,4 +159,34 @@ BENCHMARK(BM_FullFlow)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN with one extra flag: `--json [path]` runs the shared
+/// parallel-scaling sweep after the registered benchmarks and writes the
+/// fpkit.bench.parallel.v1 document (default BENCH_parallel.json). Every
+/// other flag is forwarded to google-benchmark untouched.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> forwarded;
+  forwarded.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_parallel.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+      if (json_path.empty()) json_path = "BENCH_parallel.json";
+    } else {
+      forwarded.push_back(argv[i]);
+    }
+  }
+  int forwarded_argc = static_cast<int>(forwarded.size());
+  benchmark::Initialize(&forwarded_argc, forwarded.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded_argc,
+                                             forwarded.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) fp::bench::emit_parallel_json(json_path);
+  return 0;
+}

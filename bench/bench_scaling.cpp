@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "io/table.h"
 #include "route/router.h"
+#include "util/cli.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -25,8 +26,18 @@ double time_us(const std::function<void()>& body, int repeats = 50) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp;
+  const ArgParser args(argc, argv);
+
+  // --json [path]: run the parallel-scaling sweep (large-mesh CG solve +
+  // multi-start SA at 1..hardware threads) and write the
+  // fpkit.bench.parallel.v1 document instead of only the kernel table.
+  if (args.has("json")) {
+    bench::emit_parallel_json(
+        args.get_string("json", "BENCH_parallel.json"));
+    return 0;
+  }
 
   TablePrinter table({"fingers", "random (us)", "IFA (us)", "DFA (us)",
                       "density (us)", "route (us)"});

@@ -1,6 +1,9 @@
 #include "codesign/flow.h"
 
+#include <algorithm>
+
 #include "analysis/check.h"
+#include "exec/exec.h"
 #include "assign/dfa.h"
 #include "assign/ifa.h"
 #include "assign/random_assigner.h"
@@ -180,8 +183,12 @@ FlowResult CodesignFlow::run(const Package& package) const {
         exchange_options.solver.cancel = &stage_token;
       }
       const ExchangeOptimizer optimizer(package, exchange_options);
+      const int restarts = std::max(1, exchange_options.schedule.restarts);
       try {
-        ExchangeResult exchanged = optimizer.optimize(result.initial);
+        ExchangeResult exchanged =
+            restarts > 1
+                ? optimizer.optimize_multistart(result.initial, restarts)
+                : optimizer.optimize(result.initial);
         result.final = std::move(exchanged.assignment);
         result.anneal = exchanged.anneal;
         if (result.anneal.stop == AnnealStop::BudgetExpired) {
@@ -258,6 +265,49 @@ FlowResult CodesignFlow::run(const Package& package) const {
     }
   }
   return result;
+}
+
+int BatchResult::failed_count() const {
+  int failed = 0;
+  for (const BatchJobResult& job : jobs) {
+    if (!job.ok) ++failed;
+  }
+  return failed;
+}
+
+bool BatchResult::any_degraded() const {
+  for (const BatchJobResult& job : jobs) {
+    if (job.ok && job.result.degraded) return true;
+  }
+  return false;
+}
+
+BatchResult run_flow_batch(const Package& package,
+                           std::vector<BatchJob> jobs) {
+  const Timer timer;
+  const obs::ScopedSpan span("flow.batch", "flow");
+  BatchResult batch;
+  batch.jobs.resize(jobs.size());
+  // Each job writes only its own slot; errors are captured per job rather
+  // than propagated, so one failing scenario cannot take down a sweep.
+  exec::parallel_tasks(jobs.size(), [&](std::size_t i) {
+    BatchJobResult& out = batch.jobs[i];
+    out.label = std::move(jobs[i].label);
+    try {
+      out.result = CodesignFlow(jobs[i].options).run(package);
+      out.ok = true;
+    } catch (const std::exception& error) {
+      out.error = error.what();
+    }
+  });
+  batch.runtime_s = timer.seconds();
+  if (obs::metrics_enabled()) {
+    obs::count("flow.batch.runs");
+    obs::count("flow.batch.jobs", static_cast<long long>(batch.jobs.size()));
+    obs::gauge("flow.batch.runtime_s", batch.runtime_s);
+    obs::gauge("flow.batch.failed", batch.failed_count());
+  }
+  return batch;
 }
 
 std::string CodesignFlow::summary(const Package& package,

@@ -153,4 +153,43 @@ class CodesignFlow {
   FlowOptions options_;
 };
 
+/// One job of a batch run: the options to evaluate plus a label used in
+/// reports ("DFA/seed=3", a scenario name...).
+struct BatchJob {
+  std::string label;
+  FlowOptions options;
+};
+
+/// Outcome of one batch job. A job that threw (CheckFailure, bad options,
+/// unrecoverable solver error...) reports ok = false with the error text;
+/// the other jobs are unaffected.
+struct BatchJobResult {
+  std::string label;
+  bool ok = false;
+  std::string error;  // non-empty iff !ok
+  FlowResult result;  // valid iff ok
+};
+
+/// Results of run_flow_batch, in input-job order regardless of which
+/// worker finished first.
+struct BatchResult {
+  std::vector<BatchJobResult> jobs;
+  double runtime_s = 0.0;
+
+  [[nodiscard]] int failed_count() const;
+  /// True when any successful job reported FlowResult::degraded.
+  [[nodiscard]] bool any_degraded() const;
+};
+
+/// Evaluates every job's FlowOptions against the same (shared, read-only)
+/// package, fanning the jobs out over the exec worker pool
+/// (docs/PARALLELISM.md). Each job is itself a plain CodesignFlow::run --
+/// budgets, degradation tracking and fault injection all behave exactly
+/// as in a single run -- and results land in slots keyed by job index, so
+/// for a fixed job list the batch output is identical at every thread
+/// count. Used by `fpkit batch` and the bench harnesses for parameter
+/// sweeps (method x seed x mesh...).
+[[nodiscard]] BatchResult run_flow_batch(const Package& package,
+                                         std::vector<BatchJob> jobs);
+
 }  // namespace fp

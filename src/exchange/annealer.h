@@ -27,6 +27,12 @@ struct SaSchedule {
   /// Proposals attempted at each temperature.
   int moves_per_temperature = 64;
   std::uint64_t seed = 1;
+  /// Independent annealing replicas run by multi-start drivers (the flow's
+  /// exchange stage, `fpkit ... --restarts N`). Replica i is seeded
+  /// seed + i and runs the full schedule; the lowest final Eq.-(3) cost
+  /// wins, ties broken by the lowest replica index, so the winner is the
+  /// same at every thread count. 1 = plain single-run annealing.
+  int restarts = 1;
   /// When > 0, one (temperature, cost) sample is recorded every
   /// `record_every` temperature steps (for convergence plots).
   int record_every = 0;

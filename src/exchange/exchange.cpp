@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <vector>
 
+#include "exec/exec.h"
 #include "exchange/incremental_cost.h"
 
 #include "power/compact_model.h"
@@ -61,17 +63,31 @@ double ExchangeOptimizer::cost(const PackageAssignment& assignment,
 ExchangeResult ExchangeOptimizer::optimize_multistart(
     const PackageAssignment& initial, int starts) const {
   require(starts >= 1, "optimize_multistart: starts must be positive");
+  // Replicas are fully independent: each gets its own ExchangeOptimizer
+  // (so the mutable compact-model cache and the incremental-cost state
+  // stay replica-local) and its own seed. Results land in a slot keyed by
+  // replica index, so the selection below never depends on which worker
+  // finished first.
+  std::vector<std::optional<ExchangeResult>> results(
+      static_cast<std::size_t>(starts));
+  exec::parallel_tasks(
+      static_cast<std::size_t>(starts), [&](std::size_t i) {
+        ExchangeOptions options = options_;
+        options.schedule.seed =
+            options_.schedule.seed + static_cast<std::uint64_t>(i);
+        options.schedule.restarts = 1;
+        results[i] = ExchangeOptimizer(*package_, options).optimize(initial);
+      });
+  // Canonical selection: replica-index order with strict <, so ties go to
+  // the lowest seed and the winner is identical at every thread count.
   std::optional<ExchangeResult> best;
-  ExchangeOptions options = options_;
-  for (int i = 0; i < starts; ++i) {
-    options.schedule.seed = options_.schedule.seed +
-                            static_cast<std::uint64_t>(i);
-    ExchangeResult candidate =
-        ExchangeOptimizer(*package_, options).optimize(initial);
-    if (!best || candidate.anneal.final_cost < best->anneal.final_cost) {
-      best = std::move(candidate);
+  for (auto& candidate : results) {
+    if (!candidate) continue;
+    if (!best || candidate->anneal.final_cost < best->anneal.final_cost) {
+      best = std::move(*candidate);
     }
   }
+  ensure(best.has_value(), "optimize_multistart: no replica completed");
   return std::move(*best);
 }
 

@@ -1,0 +1,112 @@
+#include "exec/thread_pool.h"
+
+#include "util/error.h"
+
+namespace fp::exec {
+
+namespace detail {
+// Set while the current thread executes chunks of a region (worker or
+// caller); exec.h routes nested regions inline when it is up.
+thread_local bool g_in_region = false;
+}  // namespace detail
+
+bool in_parallel_region() { return detail::g_in_region; }
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  require(threads >= 1, "ThreadPool: thread count must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  detail::g_in_region = true;
+  while (true) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) break;
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    job.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  detail::g_in_region = false;
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      ++active_workers_;
+    }
+    drain(*job);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (detail::g_in_region || workers_.empty()) {
+    // Nested or poolless: execute inline. Chunk arithmetic is identical
+    // to the pooled path, only the scheduling differs.
+    Job job;
+    job.fn = &fn;
+    job.count = count;
+    const bool was_in_region = detail::g_in_region;
+    drain(job);
+    detail::g_in_region = was_in_region;
+    if (job.error) std::rethrow_exception(job.error);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(job);
+  {
+    // All chunks are claimed once drain() returns (the caller only exits
+    // when `next` passed `count`), so waiting for the adopted workers to
+    // let go guarantees every chunk also finished and nobody touches the
+    // stack-allocated job afterwards.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace fp::exec

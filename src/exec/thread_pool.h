@@ -1,0 +1,70 @@
+// Fixed-size worker pool behind exec.h's parallel regions.
+//
+// The pool owns `threads - 1` workers; the caller of run() participates
+// as the remaining thread, so a pool of size 1 is the inline path with
+// no threads at all. One region runs at a time: run() publishes a job
+// (an indexed chunk set), every participant pulls chunk indices from a
+// shared atomic counter, and run() returns once all chunks finished and
+// every adopted worker has let go of the job. Chunk-to-result mapping is
+// by index, so the dynamic schedule never affects what a region computes
+// (see exec.h for the determinism contract).
+//
+// Most code should use the exec.h free functions (which manage a shared
+// process-wide pool); the class is public for tests and for callers that
+// need an isolated pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fp::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; `threads` must be >= 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count), caller participating; blocks
+  /// until every invocation finished. Rethrows the first exception a
+  /// chunk threw (remaining chunks are skipped once one failed). Calls
+  /// from inside a running region execute inline.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_main();
+  /// Pulls and executes chunks of `job` until none remain.
+  static void drain(Job& job);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;          // guarded by mutex_
+  std::uint64_t generation_ = 0;  // guarded by mutex_
+  int active_workers_ = 0;      // workers currently adopted, guarded
+  bool stop_ = false;           // guarded by mutex_
+};
+
+}  // namespace fp::exec

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/exec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -12,6 +13,15 @@
 
 namespace fp {
 namespace {
+
+// Deterministic parallel grains (exec/exec.h): chunk boundaries depend
+// only on these constants and the problem size, never on the thread
+// count, so reductions are bit-identical at any --threads value. The
+// reduce grain also keeps every mesh up to 64x64 on a single chunk,
+// where the canonical chunked sum degenerates to the classic streaming
+// sum -- those paths are bit-for-bit what the serial solver computed.
+constexpr std::size_t kReduceGrain = 4096;
+constexpr std::size_t kSweepGrain = 2048;
 
 /// Residual blow-up test shared by every backend: NaN/Inf, or a residual
 /// that grew three orders of magnitude past the best seen while clearly
@@ -30,6 +40,11 @@ struct FreeSystem {
   std::vector<double> diag;      // A_ii
   std::vector<double> b;
   double b_norm = 0.0;
+  /// Red-black colouring of the free nodes ((x + y) parity, row-major
+  /// within each colour): nodes of one colour only neighbour the other,
+  /// so a Gauss-Seidel sweep of a colour is order-free and parallel.
+  std::vector<std::size_t> red;
+  std::vector<std::size_t> black;
 };
 
 FreeSystem build_system(const PowerGrid& grid) {
@@ -67,43 +82,61 @@ FreeSystem build_system(const PowerGrid& grid) {
     sys.diag[i] = d;
     sys.b[i] = b;
   }
-  double norm = 0.0;
-  for (const double v : sys.b) norm += v * v;
-  sys.b_norm = std::sqrt(norm);
+  sys.b_norm = std::sqrt(exec::parallel_sum(
+      sys.b.size(), kReduceGrain, [&](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) acc += sys.b[i] * sys.b[i];
+        return acc;
+      }));
+  for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
+    const auto [x, y] = sys.free_node[i];
+    ((x + y) % 2 == 0 ? sys.red : sys.black).push_back(i);
+  }
   return sys;
 }
 
-/// y = A x over free nodes (pads act as zero since they were folded into b).
+/// y = A x over free nodes (pads act as zero since they were folded into
+/// b). Rows are independent, so the sweep parallelises elementwise with
+/// bit-identical results at any thread count.
 void apply(const FreeSystem& sys, const PowerGrid& grid,
            const std::vector<double>& x, std::vector<double>& y) {
   const int k = sys.k;
   const double gx = grid.gx();
   const double gy = grid.gy();
-  for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
-    const auto [nx0, ny0] = sys.free_node[i];
-    double acc = sys.diag[i] * x[i];
-    const auto visit = [&](int nx, int ny, double g) {
-      if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
-      const int fi = sys.free_index[static_cast<std::size_t>(ny * k + nx)];
-      if (fi >= 0) acc -= g * x[static_cast<std::size_t>(fi)];
-    };
-    visit(nx0 - 1, ny0, gx);
-    visit(nx0 + 1, ny0, gx);
-    visit(nx0, ny0 - 1, gy);
-    visit(nx0, ny0 + 1, gy);
-    y[i] = acc;
-  }
+  exec::parallel_for(
+      sys.free_node.size(), kSweepGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto [nx0, ny0] = sys.free_node[i];
+          double acc = sys.diag[i] * x[i];
+          const auto visit = [&](int nx, int ny, double g) {
+            if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
+            const int fi =
+                sys.free_index[static_cast<std::size_t>(ny * k + nx)];
+            if (fi >= 0) acc -= g * x[static_cast<std::size_t>(fi)];
+          };
+          visit(nx0 - 1, ny0, gx);
+          visit(nx0 + 1, ny0, gx);
+          visit(nx0, ny0 - 1, gy);
+          visit(nx0, ny0 + 1, gy);
+          y[i] = acc;
+        }
+      });
 }
 
 double relative_residual(const FreeSystem& sys, const PowerGrid& grid,
                          const std::vector<double>& x) {
   std::vector<double> ax(x.size());
   apply(sys, grid, x, ax);
-  double rr = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double r = sys.b[i] - ax[i];
-    rr += r * r;
-  }
+  const double rr = exec::parallel_sum(
+      x.size(), kReduceGrain, [&](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double r = sys.b[i] - ax[i];
+          acc += r * r;
+        }
+        return acc;
+      });
   return sys.b_norm > 0.0 ? std::sqrt(rr) / sys.b_norm : std::sqrt(rr);
 }
 
@@ -136,6 +169,23 @@ SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
   std::vector<double> x(sys.free_node.size(), grid.spec().vdd);
   std::vector<double> next(jacobi ? x.size() : 0);
 
+  /// The 5-point update of node i read from `x`; the caller decides
+  /// where the candidate lands (next[] for Jacobi, x[] for GS/SOR).
+  const auto relaxed = [&](std::size_t i) {
+    const auto [nx0, ny0] = sys.free_node[i];
+    double acc = sys.b[i];
+    const auto visit = [&](int nx, int ny, double g) {
+      if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
+      const int fi = sys.free_index[static_cast<std::size_t>(ny * k + nx)];
+      if (fi >= 0) acc += g * x[static_cast<std::size_t>(fi)];
+    };
+    visit(nx0 - 1, ny0, gx);
+    visit(nx0 + 1, ny0, gx);
+    visit(nx0, ny0 - 1, gy);
+    visit(nx0, ny0 + 1, gy);
+    return acc / sys.diag[i];
+  };
+
   std::optional<SolveStop> special;
   double best_rel = std::numeric_limits<double>::infinity();
   int iter = 0;
@@ -144,26 +194,32 @@ SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
       special = SolveStop::Diverged;  // simulated numeric blow-up
       break;
     }
-    for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
-      const auto [nx0, ny0] = sys.free_node[i];
-      double acc = sys.b[i];
-      const auto visit = [&](int nx, int ny, double g) {
-        if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
-        const int fi = sys.free_index[static_cast<std::size_t>(ny * k + nx)];
-        if (fi >= 0) acc += g * x[static_cast<std::size_t>(fi)];
-      };
-      visit(nx0 - 1, ny0, gx);
-      visit(nx0 + 1, ny0, gx);
-      visit(nx0, ny0 - 1, gy);
-      visit(nx0, ny0 + 1, gy);
-      const double candidate = acc / sys.diag[i];
-      if (jacobi) {
-        next[i] = candidate;
-      } else {
-        x[i] = (1.0 - omega) * x[i] + omega * candidate;
+    if (jacobi) {
+      // Jacobi reads only the previous iterate: every node is
+      // independent, and the parallel sweep is bit-identical to the
+      // classic serial loop.
+      exec::parallel_for(sys.free_node.size(), kSweepGrain,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             next[i] = relaxed(i);
+                           }
+                         });
+      x.swap(next);
+    } else {
+      // Red-black Gauss-Seidel/SOR: nodes of one colour only neighbour
+      // the other colour, so each half-sweep is order-free -- the same
+      // deterministic update sequence at any thread count.
+      for (const std::vector<std::size_t>* colour : {&sys.red, &sys.black}) {
+        exec::parallel_for(
+            colour->size(), kSweepGrain,
+            [&](std::size_t begin, std::size_t end) {
+              for (std::size_t c = begin; c < end; ++c) {
+                const std::size_t i = (*colour)[c];
+                x[i] = (1.0 - omega) * x[i] + omega * relaxed(i);
+              }
+            });
       }
     }
-    if (jacobi) x.swap(next);
     // Convergence is checked on the true residual every few sweeps to keep
     // the check from dominating the sweep cost.
     if (iter % 8 == 7) {
@@ -211,20 +267,41 @@ SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
   std::vector<double> p(n);
   std::vector<double> ap(n);
 
+  // Chunked dot product in canonical (chunk-index) order: bit-identical
+  // at every thread count, and identical to the streaming sum whenever
+  // the vector fits one kReduceGrain chunk.
+  const auto dot = [n](const std::vector<double>& a,
+                       const std::vector<double>& b) {
+    return exec::parallel_sum(n, kReduceGrain,
+                              [&](std::size_t begin, std::size_t end) {
+                                double acc = 0.0;
+                                for (std::size_t i = begin; i < end; ++i) {
+                                  acc += a[i] * b[i];
+                                }
+                                return acc;
+                              });
+  };
+  const auto elementwise =
+      [n](const std::function<void(std::size_t, std::size_t)>& body) {
+        exec::parallel_for(n, kSweepGrain, body);
+      };
+
   apply(sys, grid, x, ap);
-  for (std::size_t i = 0; i < n; ++i) r[i] = sys.b[i] - ap[i];
-  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];  // Jacobi M^-1
+  elementwise([&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) r[i] = sys.b[i] - ap[i];
+    for (std::size_t i = begin; i < end; ++i) {
+      z[i] = r[i] / sys.diag[i];  // Jacobi M^-1
+    }
+  });
   p = z;
-  double rz = 0.0;
-  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+  double rz = dot(r, z);
 
   const double b_norm = sys.b_norm > 0.0 ? sys.b_norm : 1.0;
   std::optional<SolveStop> special;
   double best_rel = std::numeric_limits<double>::infinity();
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
-    double r_norm = 0.0;
-    for (const double v : r) r_norm += v * v;
+    const double r_norm = dot(r, r);
     const double rel = std::sqrt(r_norm) / b_norm;
     if (obs::tracing_enabled()) {
       obs::counter("solver.residual", {{"relative_residual", rel}});
@@ -245,8 +322,7 @@ SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
     }
 
     apply(sys, grid, p, ap);
-    double p_ap = 0.0;
-    for (std::size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
+    const double p_ap = dot(p, ap);
     if (!(p_ap > 0.0) || !std::isfinite(p_ap)) {
       // Lost positive definiteness (ill-conditioned or corrupt mesh):
       // divergence, so the fallback chain can rescue the solve.
@@ -254,14 +330,17 @@ SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
       break;
     }
     const double alpha = rz / p_ap;
-    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i];
-    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
-    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / sys.diag[i];
-    double rz_next = 0.0;
-    for (std::size_t i = 0; i < n; ++i) rz_next += r[i] * z[i];
+    elementwise([&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) x[i] += alpha * p[i];
+      for (std::size_t i = begin; i < end; ++i) r[i] -= alpha * ap[i];
+      for (std::size_t i = begin; i < end; ++i) z[i] = r[i] / sys.diag[i];
+    });
+    const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    elementwise([&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) p[i] = z[i] + beta * p[i];
+    });
   }
   SolveResult result = finish(sys, grid, x, iter);
   result.converged = std::isfinite(result.relative_residual) &&
@@ -287,6 +366,21 @@ struct MgLevel {
   int k = 0;
   std::vector<unsigned char> pad;  // k*k mask
   std::vector<double> x, b, r;
+  /// Red-black partition of the non-pad cells ((x + y) parity,
+  /// row-major within each colour), for order-free parallel smoothing.
+  std::vector<std::size_t> red, black;
+
+  void build_colours() {
+    for (int y = 0; y < k; ++y) {
+      for (int cx = 0; cx < k; ++cx) {
+        const std::size_t i = static_cast<std::size_t>(y) *
+                                  static_cast<std::size_t>(k) +
+                              static_cast<std::size_t>(cx);
+        if (pad[i]) continue;
+        ((cx + y) % 2 == 0 ? red : black).push_back(i);
+      }
+    }
+  }
 };
 
 class MultigridSolver {
@@ -309,6 +403,7 @@ class MultigridSolver {
         fine.b[i] = -grid.node_current(x, y);
       }
     }
+    fine.build_colours();
     levels_.push_back(std::move(fine));
     while (levels_.back().k > 7) {
       const MgLevel& parent = levels_.back();
@@ -336,6 +431,7 @@ class MultigridSolver {
           coarse.pad[index(coarse.k, x, y)] = is_pad;
         }
       }
+      coarse.build_colours();
       levels_.push_back(std::move(coarse));
     }
   }
@@ -404,34 +500,53 @@ class MultigridSolver {
   }
 
   static double norm(const std::vector<double>& v) {
-    double total = 0.0;
-    for (const double value : v) total += value * value;
-    return std::sqrt(total);
+    return std::sqrt(exec::parallel_sum(
+        v.size(), kReduceGrain, [&](std::size_t begin, std::size_t end) {
+          double acc = 0.0;
+          for (std::size_t i = begin; i < end; ++i) acc += v[i] * v[i];
+          return acc;
+        }));
+  }
+
+  /// Rows per chunk for the k*k grid loops; depends only on k, so the
+  /// partition stays canonical.
+  static std::size_t row_grain(int k) {
+    const std::size_t rows = kSweepGrain / static_cast<std::size_t>(k);
+    return rows == 0 ? 1 : rows;
   }
 
   void smooth(MgLevel& level, int sweeps) const {
     const int k = level.k;
     const double gx = grid_.gx();
     const double gy = grid_.gy();
+    /// One red-black half-sweep over `cells` (all one colour, so the
+    /// updates are independent and order-free).
+    const auto half_sweep = [&](const std::vector<std::size_t>& cells) {
+      exec::parallel_for(
+          cells.size(), kSweepGrain,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+              const std::size_t i = cells[c];
+              const int x = static_cast<int>(i % static_cast<std::size_t>(k));
+              const int y = static_cast<int>(i / static_cast<std::size_t>(k));
+              double diag = 0.0;
+              double acc = level.b[i];
+              const auto visit = [&](int nx, int ny, double g) {
+                if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
+                diag += g;
+                acc += g * level.x[index(k, nx, ny)];
+              };
+              visit(x - 1, y, gx);
+              visit(x + 1, y, gx);
+              visit(x, y - 1, gy);
+              visit(x, y + 1, gy);
+              level.x[i] = acc / diag;
+            }
+          });
+    };
     for (int sweep = 0; sweep < sweeps; ++sweep) {
-      for (int y = 0; y < k; ++y) {
-        for (int x = 0; x < k; ++x) {
-          const std::size_t i = index(k, x, y);
-          if (level.pad[i]) continue;
-          double diag = 0.0;
-          double acc = level.b[i];
-          const auto visit = [&](int nx, int ny, double g) {
-            if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
-            diag += g;
-            acc += g * level.x[index(k, nx, ny)];
-          };
-          visit(x - 1, y, gx);
-          visit(x + 1, y, gx);
-          visit(x, y - 1, gy);
-          visit(x, y + 1, gy);
-          level.x[i] = acc / diag;
-        }
-      }
+      half_sweep(level.red);
+      half_sweep(level.black);
     }
   }
 
@@ -439,27 +554,32 @@ class MultigridSolver {
     const int k = level.k;
     const double gx = grid_.gx();
     const double gy = grid_.gy();
-    for (int y = 0; y < k; ++y) {
-      for (int x = 0; x < k; ++x) {
-        const std::size_t i = index(k, x, y);
-        if (level.pad[i]) {
-          level.r[i] = 0.0;
-          continue;
-        }
-        double diag = 0.0;
-        double acc = 0.0;
-        const auto visit = [&](int nx, int ny, double g) {
-          if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
-          diag += g;
-          acc += g * level.x[index(k, nx, ny)];
-        };
-        visit(x - 1, y, gx);
-        visit(x + 1, y, gx);
-        visit(x, y - 1, gy);
-        visit(x, y + 1, gy);
-        level.r[i] = level.b[i] - (diag * level.x[i] - acc);
-      }
-    }
+    exec::parallel_for(
+        static_cast<std::size_t>(k), row_grain(k),
+        [&](std::size_t row_begin, std::size_t row_end) {
+          for (std::size_t row = row_begin; row < row_end; ++row) {
+            const int y = static_cast<int>(row);
+            for (int x = 0; x < k; ++x) {
+              const std::size_t i = index(k, x, y);
+              if (level.pad[i]) {
+                level.r[i] = 0.0;
+                continue;
+              }
+              double diag = 0.0;
+              double acc = 0.0;
+              const auto visit = [&](int nx, int ny, double g) {
+                if (nx < 0 || nx >= k || ny < 0 || ny >= k) return;
+                diag += g;
+                acc += g * level.x[index(k, nx, ny)];
+              };
+              visit(x - 1, y, gx);
+              visit(x + 1, y, gx);
+              visit(x, y - 1, gy);
+              visit(x, y + 1, gy);
+              level.r[i] = level.b[i] - (diag * level.x[i] - acc);
+            }
+          }
+        });
   }
 
   void v_cycle(std::size_t depth) {

@@ -4,8 +4,10 @@
 // deadline; long-running loops (the SA inner loop, solver iterations,
 // global-router improvement passes) poll `expired()` every few dozen
 // steps and return their best-so-far state when it fires. The token is a
-// plain value -- the flow is single-threaded, so no atomics are needed;
-// stages hand non-owning pointers down to the loops they budget.
+// plain value; stages hand non-owning pointers down to the loops they
+// budget. Since the exec layer (exec/exec.h) fans those loops out over
+// pool workers, the manual-cancellation flag is an atomic: `cancel()`
+// may race with `expired()` polls from any worker.
 //
 // `child(seconds)` derives a per-stage token whose deadline is the
 // tighter of the parent's deadline and now + seconds, which is how a
@@ -14,6 +16,7 @@
 // docs/ROBUSTNESS.md.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 
 namespace fp {
@@ -22,6 +25,19 @@ class CancelToken {
  public:
   /// A token that never expires.
   CancelToken() = default;
+
+  CancelToken(const CancelToken& other)
+      : has_deadline_(other.has_deadline_),
+        cancelled_(other.cancelled_.load(std::memory_order_relaxed)),
+        deadline_(other.deadline_) {}
+
+  CancelToken& operator=(const CancelToken& other) {
+    has_deadline_ = other.has_deadline_;
+    cancelled_.store(other.cancelled_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    deadline_ = other.deadline_;
+    return *this;
+  }
 
   /// Expires `seconds` from now; `seconds` <= 0 is already expired.
   [[nodiscard]] static CancelToken after_seconds(double seconds) {
@@ -38,30 +54,34 @@ class CancelToken {
   [[nodiscard]] CancelToken child(double seconds) const {
     if (seconds <= 0.0) return *this;
     CancelToken token = CancelToken::after_seconds(seconds);
-    token.cancelled_ = cancelled_;
+    token.cancelled_.store(cancelled_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
     if (has_deadline_ && deadline_ < token.deadline_) {
       token.deadline_ = deadline_;
     }
     return token;
   }
 
-  /// Manual cancellation, independent of any deadline.
-  void cancel() { cancelled_ = true; }
+  /// Manual cancellation, independent of any deadline. Safe to call
+  /// while pool workers poll expired().
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
   /// True when cancelled or past the deadline. Cheap enough for
   /// every-few-iterations polling (one clock read).
   [[nodiscard]] bool expired() const {
-    if (cancelled_) return true;
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
     return has_deadline_ && Clock::now() >= deadline_;
   }
 
   /// True when this token can ever expire (deadline set or cancelled);
   /// loops may skip the clock read entirely for unlimited tokens.
-  [[nodiscard]] bool limited() const { return has_deadline_ || cancelled_; }
+  [[nodiscard]] bool limited() const {
+    return has_deadline_ || cancelled_.load(std::memory_order_relaxed);
+  }
 
   /// Seconds until expiry; 0 when expired, a large value when unlimited.
   [[nodiscard]] double remaining_s() const {
-    if (cancelled_) return 0.0;
+    if (cancelled_.load(std::memory_order_relaxed)) return 0.0;
     if (!has_deadline_) return 1e30;
     const double left =
         std::chrono::duration<double>(deadline_ - Clock::now()).count();
@@ -71,7 +91,7 @@ class CancelToken {
  private:
   using Clock = std::chrono::steady_clock;
   bool has_deadline_ = false;
-  bool cancelled_ = false;
+  std::atomic<bool> cancelled_{false};
   Clock::time_point deadline_{};
 };
 

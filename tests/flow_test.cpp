@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "codesign/flow.h"
+#include "exec/exec.h"
 #include "package/circuit_generator.h"
 #include "route/legality.h"
 
@@ -150,6 +151,124 @@ TEST_P(FlowSweep, LegalAndImprovingAcrossCircuitsAndTiers) {
 INSTANTIATE_TEST_SUITE_P(CircuitsAndTiers, FlowSweep,
                          ::testing::Combine(::testing::Values(0, 1, 2),
                                             ::testing::Values(1, 2, 4)));
+
+// ------------------------------------------------- parallel execution ----
+
+/// Everything summary() prints except the wall-clock lines, which are the
+/// only fields allowed to differ between runs.
+std::string stable_summary(const Package& package, const FlowResult& result) {
+  std::string out;
+  for (const std::string& line :
+       [&] {
+         std::vector<std::string> lines;
+         std::string text = CodesignFlow::summary(package, result);
+         std::size_t start = 0;
+         while (start < text.size()) {
+           std::size_t end = text.find('\n', start);
+           if (end == std::string::npos) end = text.size();
+           lines.push_back(text.substr(start, end - start));
+           start = end + 1;
+         }
+         return lines;
+       }()) {
+    if (line.find("runtime") != std::string::npos) continue;
+    if (line.find("stages") != std::string::npos) continue;
+    out += line + "\n";
+  }
+  return out;
+}
+
+TEST(FlowParallel, SummaryByteIdenticalAcrossThreadCounts) {
+  const Package package = make_package(1, 2);
+  FlowOptions options = light_flow(AssignmentMethod::Dfa);
+  options.exchange.schedule.seed = 7;
+  const int saved_threads = exec::default_threads();
+  exec::set_default_threads(1);
+  const FlowResult expected = CodesignFlow(options).run(package);
+  const std::string expected_summary = stable_summary(package, expected);
+  for (const int threads : {2, 8}) {
+    exec::set_default_threads(threads);
+    const FlowResult actual = CodesignFlow(options).run(package);
+    EXPECT_EQ(stable_summary(package, actual), expected_summary)
+        << "threads=" << threads;
+    EXPECT_EQ(actual.anneal.final_cost, expected.anneal.final_cost);
+    EXPECT_EQ(actual.ir_final.max_drop_v, expected.ir_final.max_drop_v);
+    EXPECT_EQ(actual.final.ring_order(), expected.final.ring_order());
+  }
+  exec::set_default_threads(saved_threads);
+}
+
+TEST(FlowParallel, MultistartWinnerIndependentOfThreadCount) {
+  const Package package = make_package(0);
+  FlowOptions options = light_flow(AssignmentMethod::Dfa);
+  options.exchange.schedule.seed = 7;
+  options.exchange.schedule.restarts = 5;
+  const int saved_threads = exec::default_threads();
+  exec::set_default_threads(1);
+  const FlowResult expected = CodesignFlow(options).run(package);
+  for (const int threads : {2, 8}) {
+    exec::set_default_threads(threads);
+    const FlowResult actual = CodesignFlow(options).run(package);
+    EXPECT_EQ(actual.anneal.final_cost, expected.anneal.final_cost)
+        << "threads=" << threads;
+    EXPECT_EQ(actual.final.ring_order(), expected.final.ring_order());
+  }
+  exec::set_default_threads(saved_threads);
+  // More replicas can only improve (or match) the single-run winner: the
+  // selection keeps the minimum over a superset of seeds.
+  FlowOptions single = options;
+  single.exchange.schedule.restarts = 1;
+  const FlowResult one = CodesignFlow(single).run(package);
+  EXPECT_LE(expected.anneal.final_cost, one.anneal.final_cost);
+}
+
+TEST(FlowParallel, BatchMatchesIndividualRuns) {
+  const Package package = make_package(0);
+  std::vector<BatchJob> jobs;
+  for (const AssignmentMethod method :
+       {AssignmentMethod::Dfa, AssignmentMethod::Ifa}) {
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      BatchJob job;
+      job.label = std::string(to_string(method)) + "/" + std::to_string(seed);
+      job.options = light_flow(method);
+      job.options.random_seed = seed;
+      job.options.exchange.schedule.seed = seed;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const int saved_threads = exec::default_threads();
+  exec::set_default_threads(4);
+  const BatchResult batch = run_flow_batch(package, jobs);
+  exec::set_default_threads(saved_threads);
+  ASSERT_EQ(batch.jobs.size(), jobs.size());
+  EXPECT_EQ(batch.failed_count(), 0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(batch.jobs[i].ok) << batch.jobs[i].error;
+    EXPECT_EQ(batch.jobs[i].label, jobs[i].label);  // input-job order kept
+    const FlowResult expected = CodesignFlow(jobs[i].options).run(package);
+    EXPECT_EQ(batch.jobs[i].result.anneal.final_cost,
+              expected.anneal.final_cost)
+        << jobs[i].label;
+    EXPECT_EQ(batch.jobs[i].result.final.ring_order(),
+              expected.final.ring_order());
+  }
+}
+
+TEST(FlowParallel, BatchCapturesPerJobErrors) {
+  const Package package = make_package(0);
+  std::vector<BatchJob> jobs(2);
+  jobs[0].label = "ok";
+  jobs[0].options = light_flow(AssignmentMethod::Dfa);
+  jobs[1].label = "bad";
+  jobs[1].options = light_flow(AssignmentMethod::Dfa);
+  jobs[1].options.exchange.lambda = -1.0;  // rejected by ExchangeOptimizer
+  const BatchResult batch = run_flow_batch(package, jobs);
+  ASSERT_EQ(batch.jobs.size(), 2u);
+  EXPECT_TRUE(batch.jobs[0].ok);
+  EXPECT_FALSE(batch.jobs[1].ok);
+  EXPECT_FALSE(batch.jobs[1].error.empty());
+  EXPECT_EQ(batch.failed_count(), 1);
+}
 
 }  // namespace
 }  // namespace fp

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/exec.h"
 #include "power/power_grid.h"
 #include "power/solver.h"
 
@@ -285,6 +286,41 @@ TEST(Solver, ReportsNonConvergenceHonestly) {
   const SolveResult result = solve(grid, options);
   EXPECT_FALSE(result.converged);
   EXPECT_GT(result.relative_residual, 1e-12);
+}
+
+// The exec-layer contract (docs/PARALLELISM.md): every solver backend
+// returns a bit-identical field at threads = 1, 2 and 8. The 96 x 96
+// mesh makes the reductions span multiple canonical chunks, so this
+// genuinely exercises the chunked combine, not the single-chunk escape.
+TEST(SolverParallel, BitIdenticalAcrossThreadCounts) {
+  PowerGridSpec spec = small_spec();
+  spec.nodes_per_side = 96;
+  PowerGrid grid(spec);
+  grid.set_pads({{0, 0}, {95, 40}, {20, 95}, {60, 3}});
+  const int saved_threads = exec::default_threads();
+  for (const SolverKind kind :
+       {SolverKind::Jacobi, SolverKind::GaussSeidel, SolverKind::Sor,
+        SolverKind::ConjugateGradient, SolverKind::Multigrid}) {
+    SolverOptions options;
+    options.kind = kind;
+    options.tolerance = 1e-8;
+    exec::set_default_threads(1);
+    const SolveResult expected = solve(grid, options);
+    for (const int threads : {2, 8}) {
+      exec::set_default_threads(threads);
+      const SolveResult actual = solve(grid, options);
+      EXPECT_EQ(actual.iterations, expected.iterations)
+          << to_string(kind) << " threads=" << threads;
+      EXPECT_EQ(actual.relative_residual, expected.relative_residual)
+          << to_string(kind) << " threads=" << threads;
+      ASSERT_EQ(actual.voltage.data().size(), expected.voltage.data().size());
+      for (std::size_t i = 0; i < actual.voltage.data().size(); ++i) {
+        ASSERT_EQ(actual.voltage.data()[i], expected.voltage.data()[i])
+            << to_string(kind) << " threads=" << threads << " node " << i;
+      }
+    }
+  }
+  exec::set_default_threads(saved_threads);
 }
 
 }  // namespace

@@ -9,6 +9,14 @@
 //   fpkit ir       <circuit.fp> [--method ...] [--mesh K] [--heatmap f.svg]
 //   fpkit check    <circuit.fp> [--assignment a.fpa] [--method ...]
 //                  [--json] [--out report.json] [--strict] [--list-rules]
+//   fpkit batch    <circuit.fp> [--methods dfa,ifa,random] [--seeds 1,2,3]
+//                  [--jobs N] [...any run flag]
+//
+// Parallelism (docs/PARALLELISM.md): --threads N (0 = all cores; env
+// FPKIT_THREADS; default 1) sizes the exec worker pool for any
+// subcommand, --restarts N runs N independently-seeded SA replicas and
+// keeps the best, and `batch` fans whole flow runs out over the pool.
+// For a fixed seed every result is bit-identical at any thread count.
 //
 // Every subcommand additionally accepts the observability flags
 //   --trace <file.json>    span trace (Chrome trace event format; open in
@@ -43,6 +51,7 @@
 #include "assign/random_assigner.h"
 #include "codesign/flow.h"
 #include "codesign/report.h"
+#include "exec/exec.h"
 #include "io/assignment_file.h"
 #include "io/circuit_file.h"
 #include "obs/metrics.h"
@@ -57,6 +66,7 @@
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/faultpoint.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -82,6 +92,14 @@ int usage() {
                " [--mesh K]\n"
                "           [--json] [--out report.json] [--strict]"
                " [--list-rules]\n"
+               "  batch    <circuit.fp> [--methods dfa,ifa,random]"
+               " [--seeds 1,2,3]\n"
+               "           [--jobs N] [--mesh K] [...run flags]\n"
+               "parallelism (see docs/PARALLELISM.md):\n"
+               "  --threads N         worker threads, 0 = all cores"
+               " [env FPKIT_THREADS; default 1]\n"
+               "  --restarts N        independent SA replicas; best final"
+               " cost wins (run/ir/batch)\n"
                "observability (any subcommand; see docs/OBSERVABILITY.md):\n"
                "  --trace <t.json>    span trace (Perfetto/chrome://tracing)"
                " [env FPKIT_TRACE]\n"
@@ -121,6 +139,10 @@ FlowOptions flow_options(const ArgParser& args) {
   options.exchange.rho = args.get_double("rho", 2.0);
   options.exchange.phi = args.get_double("phi", 1.0);
   options.exchange.schedule.seed = options.random_seed;
+  options.exchange.schedule.restarts =
+      static_cast<int>(args.get_int("restarts", 1));
+  require(options.exchange.schedule.restarts >= 1,
+          "--restarts must be >= 1");
   options.budget.total_s = args.get_double("budget", 0.0);
   options.budget.exchange_s = args.get_double("budget-exchange", 0.0);
   options.budget.analyze_s = args.get_double("budget-analyze", 0.0);
@@ -339,6 +361,69 @@ int cmd_check(const ArgParser& args) {
   return failed ? 1 : 0;
 }
 
+/// `fpkit batch`: the methods x seeds cross product of one base option
+/// set, fanned out over the worker pool via run_flow_batch. Job order --
+/// and therefore output order -- is methods-major and thread-count
+/// independent.
+int cmd_batch(const ArgParser& args) {
+  const Package package = load_input(args);
+  const FlowOptions base = flow_options(args);
+  if (args.has("jobs") && !args.has("threads")) {
+    exec::set_default_threads(static_cast<int>(args.get_int("jobs", 0)));
+  }
+
+  const std::vector<std::string> methods =
+      split(args.get_string("methods", "dfa"), ',');
+  const std::vector<std::string> seeds = split(
+      args.get_string("seeds",
+                      std::to_string(static_cast<long long>(base.random_seed))),
+      ',');
+  std::vector<BatchJob> jobs;
+  for (const std::string& method_name : methods) {
+    for (const std::string& seed_text : seeds) {
+      BatchJob job;
+      job.options = base;
+      job.options.method = parse_method(std::string(trim(method_name)));
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(parse_int(trim(seed_text)));
+      job.options.random_seed = seed;
+      job.options.exchange.schedule.seed = seed;
+      job.label = std::string(to_string(job.options.method)) +
+                  "/seed=" + std::to_string(seed);
+      jobs.push_back(std::move(job));
+    }
+  }
+  require(!jobs.empty(), "batch: --methods/--seeds produced no jobs");
+
+  const BatchResult batch = run_flow_batch(package, std::move(jobs));
+  std::printf("batch: %zu job(s) on %d thread(s), %.3f s\n",
+              batch.jobs.size(), exec::default_threads(), batch.runtime_s);
+  std::printf("  %-16s %-8s %9s %12s %6s %9s\n", "job", "status",
+              "density", "IR-drop(mV)", "omega", "runtime");
+  for (const BatchJobResult& job : batch.jobs) {
+    if (!job.ok) {
+      std::printf("  %-16s %-8s %s\n", job.label.c_str(), "FAILED",
+                  job.error.c_str());
+      continue;
+    }
+    std::printf("  %-16s %-8s %9d %12.2f %6d %8.3fs\n", job.label.c_str(),
+                job.result.degraded ? "degraded" : "ok",
+                job.result.max_density_final,
+                job.result.ir_final.max_drop_v * 1e3,
+                job.result.bonding_final.omega, job.result.runtime_s);
+  }
+  if (batch.failed_count() > 0) {
+    std::fprintf(stderr, "fpkit: %d batch job(s) failed (exit code 4)\n",
+                 batch.failed_count());
+    return 4;
+  }
+  if (batch.any_degraded()) {
+    std::fprintf(stderr, "fpkit: degraded batch result (exit code 3)\n");
+    return 3;
+  }
+  return 0;
+}
+
 int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "info") return cmd_info(args);
@@ -347,6 +432,7 @@ int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "ir") return cmd_ir(args);
   if (command == "spice") return cmd_spice(args);
   if (command == "check") return cmd_check(args);
+  if (command == "batch") return cmd_batch(args);
   return usage();
 }
 
@@ -411,6 +497,11 @@ int main(int argc, char** argv) {
   ObsPaths obs_paths;
   try {
     const ArgParser args(argc - 1, argv + 1);
+    // --threads overrides FPKIT_THREADS; 0 (or a bare --threads) = all
+    // cores. Applied before dispatch so every subcommand sees the pool.
+    if (args.has("threads")) {
+      exec::set_default_threads(static_cast<int>(args.get_int("threads", 0)));
+    }
     obs_paths = arm_observability(args);
     fault::arm_from_env();
     const std::string inject = args.get_string("inject", "");
