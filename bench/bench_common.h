@@ -4,15 +4,18 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "assign/dfa.h"
 #include "codesign/flow.h"
 #include "exec/exec.h"
 #include "exchange/exchange.h"
+#include "obs/artifact.h"
 #include "package/circuit_generator.h"
 #include "power/power_grid.h"
 #include "power/solver.h"
@@ -58,8 +61,43 @@ inline ExchangeOptions standard_exchange(std::uint64_t seed = 7) {
   return options;
 }
 
-/// Output directory for SVG artefacts (current working directory).
-inline std::string artefact_path(const std::string& name) { return name; }
+/// Output directory for bench artefacts (CSV tables, SVG figures, JSON
+/// documents). Empty = the current working directory, the historical
+/// default; every bench binary accepts `--out <dir>` to redirect.
+inline std::string& artefact_dir() {
+  static std::string dir;
+  return dir;
+}
+
+/// Points artefact_path() at `dir` (created if missing); empty = keep the
+/// current setting.
+inline void set_artefact_dir(const std::string& dir) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  require(!ec, "bench: cannot create --out directory '" + dir + "': " +
+                   ec.message());
+  artefact_dir() = dir;
+}
+
+/// Resolves one output file name against the configured --out directory.
+inline std::string artefact_path(const std::string& name) {
+  const std::string& dir = artefact_dir();
+  return dir.empty() ? name : dir + "/" + name;
+}
+
+/// Handles the common `--out <dir>` / `--out=<dir>` flag for the bench
+/// binaries that do not use ArgParser. Unknown flags are left alone.
+inline void parse_out_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      set_artefact_dir(argv[++i]);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      set_artefact_dir(std::string(arg.substr(6)));
+    }
+  }
+}
 
 // ------------------------------------------------- parallel scaling ----
 //
@@ -172,18 +210,59 @@ inline void save_parallel_json(const std::vector<ParallelSample>& samples,
   require(out.good(), "bench: cannot write '" + path + "'");
 }
 
-/// Runs the scaling sweep and writes `path`, echoing a short table to
-/// stdout so logs stay readable without the JSON file.
-inline void emit_parallel_json(const std::string& path) {
+/// Writes an fpkit.run.v1 artifact for one bench invocation -- the same
+/// schema the CLI's --artifact-dir produces, so `fpkit compare` gates
+/// bench runs against the checked-in baselines under bench/baselines/
+/// (docs/ARTIFACTS.md). Each (workload, thread-count) sample becomes one
+/// manifest stage "<workload>.t<threads>" (slowdown-gated) plus a
+/// "speedup.<workload>.t<threads>" result (reported as a plain delta).
+inline void save_bench_artifact(const std::string& dir,
+                                const std::string& bench_name,
+                                const std::vector<ParallelSample>& samples,
+                                double wall_s) {
+  obs::RunManifest manifest;
+  manifest.subcommand = bench_name;
+  manifest.version = std::string(obs::kToolVersion);
+  manifest.threads = exec::hardware_threads();
+  manifest.wall_s = wall_s;
+  obs::capture_environment(manifest);
+  for (const ParallelSample& s : samples) {
+    const std::string key = s.name + ".t" + std::to_string(s.threads);
+    manifest.stages.push_back(obs::ManifestStage{key, s.wall_s});
+    manifest.results["speedup." + key] = s.speedup;
+  }
+  obs::write_run_artifact(dir, manifest, /*include_metrics=*/false,
+                          /*include_trace=*/false);
+  std::printf("wrote artifact %s\n", dir.c_str());
+}
+
+/// Runs the scaling sweep once and emits every requested output: a short
+/// stdout table always, the fpkit.bench.parallel.v1 document when
+/// `json_path` is set, an fpkit.run.v1 artifact when `artifact_dir` is.
+inline void emit_parallel_results(const std::string& json_path,
+                                  const std::string& artifact_dir,
+                                  const std::string& bench_name) {
+  const Timer timer;
   const std::vector<ParallelSample> samples = run_parallel_scaling();
-  save_parallel_json(samples, path);
+  const double wall_s = timer.seconds();
   std::printf("parallel scaling (%d hardware thread(s)):\n",
               exec::hardware_threads());
   for (const ParallelSample& s : samples) {
     std::printf("  %-20s threads=%d  %8.3f s  speedup %.2fx\n",
                 s.name.c_str(), s.threads, s.wall_s, s.speedup);
   }
-  std::printf("wrote %s\n", path.c_str());
+  if (!json_path.empty()) {
+    save_parallel_json(samples, json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!artifact_dir.empty()) {
+    save_bench_artifact(artifact_dir, bench_name, samples, wall_s);
+  }
+}
+
+/// Back-compat entry point: sweep + JSON document only.
+inline void emit_parallel_json(const std::string& path) {
+  emit_parallel_results(path, "", "");
 }
 
 }  // namespace fp::bench

@@ -10,8 +10,9 @@
 #include "route/render.h"
 #include "route/router.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp;
+  bench::parse_out_flag(argc, argv);
   const Package package =
       CircuitGenerator::generate(CircuitGenerator::table1(1));  // Circuit 2
   const MonotonicRouter router;
@@ -37,9 +38,12 @@ int main() {
     // Render the bottom quadrant (the figure shows one package part).
     save_quadrant_route_svg(package.quadrant(0), route.quadrants[0],
                             std::string("circuit2 ") + plan.label,
-                            plan.file);
+                            bench::artefact_path(plan.file));
   }
-  std::printf("\n  wrote fig15_random.svg, fig15_ifa.svg, fig15_dfa.svg\n");
+  std::printf("\n  wrote %s, %s, %s\n",
+              bench::artefact_path("fig15_random.svg").c_str(),
+              bench::artefact_path("fig15_ifa.svg").c_str(),
+              bench::artefact_path("fig15_dfa.svg").c_str());
   std::printf("  (paper shape: DFA wires are near-straight and its density "
               "and wirelength beat IFA, which beats random)\n");
   return 0;

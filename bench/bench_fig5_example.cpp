@@ -28,15 +28,18 @@ void report(const fp::Quadrant& q, const fp::QuadrantAssignment& a,
   const fp::QuadrantRoute route = fp::MonotonicRouter().route(q, a);
   std::printf("  %-22s order %-35s max density %d\n", label,
               order_string(a.order).c_str(), route.max_density);
-  fp::save_quadrant_route_svg(q, route, label, svg_name);
+  fp::save_quadrant_route_svg(q, route, label,
+                              fp::bench::artefact_path(svg_name));
   // The paper's contribution 2: the pre-routing wire congestion map.
-  fp::save_congestion_map_svg(q, fp::DensityMap(q, a), label, map_name);
+  fp::save_congestion_map_svg(q, fp::DensityMap(q, a), label,
+                              fp::bench::artefact_path(map_name));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp;
+  bench::parse_out_flag(argc, argv);
   const Quadrant q = CircuitGenerator::fig5_quadrant();
 
   std::printf("Fig. 5 worked example (12 nets, rows 5/4/3):\n");

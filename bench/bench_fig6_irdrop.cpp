@@ -66,8 +66,9 @@ void heatmap(fp::PowerGrid& grid, const std::vector<int>& slots,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp;
+  bench::parse_out_flag(argc, argv);
   PowerGrid grid = make_die();
 
   // Plan A: random slots.
@@ -137,10 +138,15 @@ int main() {
   std::printf("  ordering A > B > C %s\n",
               shape_holds ? "HOLDS" : "DOES NOT HOLD");
 
-  heatmap(grid, random_plan, "Fig6A random pads", "fig6_random.svg");
-  heatmap(grid, regular_plan, "Fig6B regular pads", "fig6_regular.svg");
-  heatmap(grid, plan, "Fig6C optimized pads", "fig6_optimized.svg");
-  std::printf("  wrote fig6_random.svg, fig6_regular.svg, "
-              "fig6_optimized.svg\n");
+  heatmap(grid, random_plan, "Fig6A random pads",
+          bench::artefact_path("fig6_random.svg"));
+  heatmap(grid, regular_plan, "Fig6B regular pads",
+          bench::artefact_path("fig6_regular.svg"));
+  heatmap(grid, plan, "Fig6C optimized pads",
+          bench::artefact_path("fig6_optimized.svg"));
+  std::printf("  wrote %s, %s, %s\n",
+              bench::artefact_path("fig6_random.svg").c_str(),
+              bench::artefact_path("fig6_regular.svg").c_str(),
+              bench::artefact_path("fig6_optimized.svg").c_str());
   return shape_holds ? 0 : 1;
 }

@@ -159,12 +159,16 @@ BENCHMARK(BM_FullFlow)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-/// BENCHMARK_MAIN with one extra flag: `--json [path]` runs the shared
+/// BENCHMARK_MAIN with three extra flags: `--json [path]` runs the shared
 /// parallel-scaling sweep after the registered benchmarks and writes the
-/// fpkit.bench.parallel.v1 document (default BENCH_parallel.json). Every
-/// other flag is forwarded to google-benchmark untouched.
+/// fpkit.bench.parallel.v1 document (default BENCH_parallel.json),
+/// `--artifact-dir <dir>` additionally records the sweep as an
+/// fpkit.run.v1 artifact for `fpkit compare`, and `--out <dir>` redirects
+/// the JSON document. Every other flag is forwarded to google-benchmark
+/// untouched.
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string artifact_dir;
   std::vector<char*> forwarded;
   forwarded.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -175,6 +179,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = std::string(arg.substr(7));
       if (json_path.empty()) json_path = "BENCH_parallel.json";
+    } else if (arg == "--artifact-dir" && i + 1 < argc) {
+      artifact_dir = argv[++i];
+    } else if (arg.rfind("--artifact-dir=", 0) == 0) {
+      artifact_dir = std::string(arg.substr(15));
+    } else if (arg == "--out" && i + 1 < argc) {
+      fp::bench::set_artefact_dir(argv[++i]);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      fp::bench::set_artefact_dir(std::string(arg.substr(6)));
     } else {
       forwarded.push_back(argv[i]);
     }
@@ -187,6 +199,10 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!json_path.empty()) fp::bench::emit_parallel_json(json_path);
+  if (!json_path.empty() || !artifact_dir.empty()) {
+    fp::bench::emit_parallel_results(
+        json_path.empty() ? "" : fp::bench::artefact_path(json_path),
+        artifact_dir, "bench_perf_kernels");
+  }
   return 0;
 }

@@ -15,8 +15,9 @@
 #include "obs/metrics.h"
 #include "util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp;
+  bench::parse_out_flag(argc, argv);
   const Package package =
       CircuitGenerator::generate(CircuitGenerator::table1(0));
   const PackageAssignment initial = DfaAssigner().assign(package);
@@ -39,7 +40,7 @@ int main() {
     csv.add_row({format_fixed(row[0], 6), format_fixed(row[1], 4),
                  std::to_string(static_cast<long long>(row[2]))});
   }
-  csv.save("sa_trace.csv");
+  csv.save(bench::artefact_path("sa_trace.csv"));
 
   // The metrics sink and the AnnealResult::trace shim must agree sample
   // for sample (the shim is derived from the same recording).
@@ -61,7 +62,7 @@ int main() {
               result.anneal.temperature_steps);
   std::printf("  IR proxy %.3f -> %.3f\n", result.ir_cost_before,
               result.ir_cost_after);
-  std::printf("  wrote sa_trace.csv\n");
+  std::printf("  wrote %s\n", bench::artefact_path("sa_trace.csv").c_str());
   // The curve must end no higher than it started.
   return result.anneal.final_cost <= result.anneal.initial_cost ? 0 : 1;
 }

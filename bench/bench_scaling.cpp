@@ -29,13 +29,21 @@ double time_us(const std::function<void()>& body, int repeats = 50) {
 int main(int argc, char** argv) {
   using namespace fp;
   const ArgParser args(argc, argv);
+  bench::set_artefact_dir(args.get_string("out", ""));
 
-  // --json [path]: run the parallel-scaling sweep (large-mesh CG solve +
-  // multi-start SA at 1..hardware threads) and write the
-  // fpkit.bench.parallel.v1 document instead of only the kernel table.
-  if (args.has("json")) {
-    bench::emit_parallel_json(
-        args.get_string("json", "BENCH_parallel.json"));
+  // --json [path] and/or --artifact-dir <dir>: run the parallel-scaling
+  // sweep (large-mesh CG solve + multi-start SA at 1..hardware threads)
+  // and write the fpkit.bench.parallel.v1 document / the fpkit.run.v1
+  // artifact gated by `fpkit compare` against bench/baselines/, instead
+  // of only the kernel table.
+  const std::string artifact_dir = args.get_string("artifact-dir", "");
+  if (args.has("json") || !artifact_dir.empty()) {
+    const std::string json_path =
+        args.has("json")
+            ? bench::artefact_path(
+                  args.get_string("json", "BENCH_parallel.json"))
+            : "";
+    bench::emit_parallel_results(json_path, artifact_dir, "bench_scaling");
     return 0;
   }
 

@@ -47,8 +47,9 @@ CaseResult run_case(const fp::CircuitSpec& base, int tiers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp;
+  bench::parse_out_flag(argc, argv);
 
   TablePrinter table({"Input case", "2D den DFA", "2D den exch",
                       "2D impr IR-drop (%)", "S4 den DFA", "S4 den exch",
@@ -96,7 +97,7 @@ int main() {
   std::printf("Paper's published averages: IR-drop improvement 10.61%% "
               "(2-D), 4.58%% (psi=4); bonding wires 15.66%%.\n");
   std::printf("Harness runtime: %.2f s\n", timer.seconds());
-  csv.save("table3.csv");
-  std::printf("Wrote table3.csv\n");
+  csv.save(bench::artefact_path("table3.csv"));
+  std::printf("Wrote %s\n", bench::artefact_path("table3.csv").c_str());
   return 0;
 }

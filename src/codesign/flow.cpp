@@ -1,6 +1,7 @@
 #include "codesign/flow.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "analysis/check.h"
 #include "exec/exec.h"
@@ -10,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "route/router.h"
+#include "util/error.h"
 #include "util/faultpoint.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -293,6 +295,9 @@ BatchResult run_flow_batch(const Package& package,
   exec::parallel_tasks(jobs.size(), [&](std::size_t i) {
     BatchJobResult& out = batch.jobs[i];
     out.label = std::move(jobs[i].label);
+    // One span per job, named by slot: a batch trace reads as
+    // "flow.batch.job3" blocks fanned across the worker tracks.
+    const obs::ScopedSpan span("flow.batch.job" + std::to_string(i), "flow");
     try {
       out.result = CodesignFlow(jobs[i].options).run(package);
       out.ok = true;
@@ -308,6 +313,117 @@ BatchResult run_flow_batch(const Package& package,
     obs::gauge("flow.batch.failed", batch.failed_count());
   }
   return batch;
+}
+
+namespace {
+
+AssignmentMethod parse_job_method(const std::string& name, int line) {
+  if (name == "random") return AssignmentMethod::Random;
+  if (name == "ifa") return AssignmentMethod::Ifa;
+  if (name == "dfa") return AssignmentMethod::Dfa;
+  throw InvalidArgument("jobs file line " + std::to_string(line) +
+                        ": unknown method '" + name +
+                        "' (expected random|ifa|dfa)");
+}
+
+/// One key=value field of a jobs-file line, layered over the job options.
+void apply_job_field(FlowOptions& options, const std::string& key,
+                     const std::string& value, int line) {
+  const auto bad = [&](const std::string& what) -> InvalidArgument {
+    return InvalidArgument("jobs file line " + std::to_string(line) + ": " +
+                           what);
+  };
+  try {
+    if (key == "method") {
+      options.method = parse_job_method(value, line);
+    } else if (key == "seed") {
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(parse_int(value));
+      options.random_seed = seed;
+      options.exchange.schedule.seed = seed;
+    } else if (key == "restarts") {
+      options.exchange.schedule.restarts =
+          static_cast<int>(parse_int(value));
+      if (options.exchange.schedule.restarts < 1) {
+        throw bad("restarts must be >= 1");
+      }
+    } else if (key == "cut") {
+      options.dfa_cut_line_n = static_cast<int>(parse_int(value));
+    } else if (key == "mesh") {
+      options.grid_spec.nodes_per_side = static_cast<int>(parse_int(value));
+    } else if (key == "lambda") {
+      options.exchange.lambda = parse_double(value);
+    } else if (key == "rho") {
+      options.exchange.rho = parse_double(value);
+    } else if (key == "phi") {
+      options.exchange.phi = parse_double(value);
+    } else if (key == "exchange") {
+      if (value == "on") {
+        options.run_exchange = true;
+      } else if (value == "off") {
+        options.run_exchange = false;
+      } else {
+        throw bad("exchange must be on or off, got '" + value + "'");
+      }
+    } else if (key == "budget") {
+      options.budget.total_s = parse_double(value);
+    } else if (key == "budget-exchange") {
+      options.budget.exchange_s = parse_double(value);
+    } else if (key == "budget-analyze") {
+      options.budget.analyze_s = parse_double(value);
+    } else {
+      throw bad("unknown key '" + key + "'");
+    }
+  } catch (const IoError&) {
+    // parse_int/parse_double report generic malformed-number errors;
+    // re-point them at the offending line and field.
+    throw bad("malformed value '" + value + "' for key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<BatchJob> load_batch_jobs(const std::string& path,
+                                      const FlowOptions& base) {
+  std::ifstream file(path);
+  if (!file) {
+    throw IoError("load_batch_jobs: cannot open '" + path + "'");
+  }
+  std::vector<BatchJob> jobs;
+  std::string text;
+  int line_number = 0;
+  while (std::getline(file, text)) {
+    ++line_number;
+    const std::string_view stripped = trim(text);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    BatchJob job;
+    job.options = base;
+    for (const std::string& token : split_ws(stripped)) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        // A bare token is the job's label; only one is allowed.
+        if (!job.label.empty()) {
+          throw InvalidArgument(
+              "jobs file line " + std::to_string(line_number) +
+              ": second label token '" + token +
+              "' (fields must be key=value)");
+        }
+        job.label = token;
+        continue;
+      }
+      apply_job_field(job.options, token.substr(0, eq), token.substr(eq + 1),
+                      line_number);
+    }
+    if (job.label.empty()) {
+      job.label = std::string(to_string(job.options.method)) + "/seed=" +
+                  std::to_string(
+                      static_cast<long long>(job.options.random_seed));
+    }
+    jobs.push_back(std::move(job));
+  }
+  require(!jobs.empty(),
+          "load_batch_jobs: '" + path + "' contains no jobs");
+  return jobs;
 }
 
 std::string CodesignFlow::summary(const Package& package,

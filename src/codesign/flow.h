@@ -192,4 +192,20 @@ struct BatchResult {
 [[nodiscard]] BatchResult run_flow_batch(const Package& package,
                                          std::vector<BatchJob> jobs);
 
+/// Parses a `fpkit batch --jobs-file` job list: one job per line, blank
+/// lines and '#' comments skipped. Each line is an optional label token
+/// (the first token without '=') plus key=value fields layered over
+/// `base`:
+///
+///   baseline  method=dfa seed=1
+///   stress    method=ifa seed=7 restarts=4 mesh=48 exchange=off
+///
+/// Keys: method (random|ifa|dfa), seed, restarts, cut, mesh, lambda,
+/// rho, phi, exchange (on|off), budget, budget-exchange, budget-analyze.
+/// Unlabelled jobs get "<method>/seed=<seed>" like the --methods/--seeds
+/// cross product. Throws InvalidArgument (with the line number) on an
+/// unknown key or malformed value, IoError on an unreadable file.
+[[nodiscard]] std::vector<BatchJob> load_batch_jobs(const std::string& path,
+                                                    const FlowOptions& base);
+
 }  // namespace fp

@@ -136,4 +136,118 @@ void save_flow_report(const Package& package, const FlowOptions& options,
   }
 }
 
+obs::Json flow_options_to_json(const FlowOptions& options) {
+  obs::Json doc = obs::Json::object();
+  doc.set("method", obs::Json::string(std::string(to_string(options.method))));
+  doc.set("seed", obs::Json::number(
+                      static_cast<long long>(options.random_seed)));
+  doc.set("dfa_cut_line_n",
+          obs::Json::number(static_cast<long long>(options.dfa_cut_line_n)));
+  doc.set("run_exchange", obs::Json::boolean(options.run_exchange));
+  doc.set("mesh", obs::Json::number(static_cast<long long>(
+                      options.grid_spec.nodes_per_side)));
+  doc.set("self_check", obs::Json::boolean(options.self_check));
+
+  obs::Json exchange = obs::Json::object();
+  exchange.set("lambda", obs::Json::number(options.exchange.lambda));
+  exchange.set("rho", obs::Json::number(options.exchange.rho));
+  exchange.set("phi", obs::Json::number(options.exchange.phi));
+  const SaSchedule& sa = options.exchange.schedule;
+  exchange.set("initial_temperature",
+               obs::Json::number(sa.initial_temperature));
+  exchange.set("final_temperature", obs::Json::number(sa.final_temperature));
+  exchange.set("cooling", obs::Json::number(sa.cooling));
+  exchange.set("moves_per_temperature",
+               obs::Json::number(
+                   static_cast<long long>(sa.moves_per_temperature)));
+  exchange.set("restarts",
+               obs::Json::number(static_cast<long long>(sa.restarts)));
+  doc.set("exchange", std::move(exchange));
+
+  obs::Json budget = obs::Json::object();
+  budget.set("total_s", obs::Json::number(options.budget.total_s));
+  budget.set("exchange_s", obs::Json::number(options.budget.exchange_s));
+  budget.set("analyze_s", obs::Json::number(options.budget.analyze_s));
+  doc.set("budget", std::move(budget));
+  return doc;
+}
+
+void fill_run_manifest(obs::RunManifest& manifest, const FlowOptions& options,
+                       const FlowResult& result) {
+  manifest.options = flow_options_to_json(options);
+  // Every seed the run consumed: the base seed, then one per extra SA
+  // replica (optimize_multistart seeds replica i with seed + i).
+  manifest.seeds.push_back(options.random_seed);
+  for (int i = 1; i < options.exchange.schedule.restarts; ++i) {
+    manifest.seeds.push_back(options.exchange.schedule.seed +
+                             static_cast<std::uint64_t>(i));
+  }
+  for (const StageTiming& stage : result.stage_timings) {
+    manifest.stages.push_back(
+        obs::ManifestStage{stage.name, stage.seconds});
+  }
+  for (const DegradeEvent& event : result.degrade_events) {
+    manifest.events.push_back(obs::ManifestEvent{
+        event.stage, std::string(to_string(event.reason)), event.detail});
+  }
+  // Headline results: numeric, so `fpkit compare` diffs them pairwise.
+  // Names avoid the timing suffixes (_s/_us) except runtime_s, which is
+  // deliberately a timing quantity (gated by --max-slowdown, never by
+  // equality).
+  auto& r = manifest.results;
+  r["max_density_initial"] = result.max_density_initial;
+  r["max_density_final"] = result.max_density_final;
+  r["flyline_initial_um"] = result.flyline_initial_um;
+  r["flyline_final_um"] = result.flyline_final_um;
+  r["ir_drop_initial_v"] = result.ir_initial.max_drop_v;
+  r["ir_drop_final_v"] = result.ir_final.max_drop_v;
+  r["ir_improvement_percent"] = result.ir_improvement_percent();
+  r["omega_initial"] = result.bonding_initial.omega;
+  r["omega_final"] = result.bonding_final.omega;
+  r["bonding_final_um"] = result.bonding_final.total_um;
+  r["sa_final_cost"] = result.anneal.final_cost;
+  r["sa_best_cost"] = result.anneal.best_cost;
+  r["sa_temperature_steps"] = result.anneal.temperature_steps;
+  r["degraded"] = result.degraded ? 1.0 : 0.0;
+  r["runtime_s"] = result.runtime_s;
+}
+
+void fill_batch_manifest(obs::RunManifest& manifest,
+                         const FlowOptions& base_options,
+                         const BatchResult& batch) {
+  manifest.options = flow_options_to_json(base_options);
+  auto& r = manifest.results;
+  r["jobs"] = static_cast<double>(batch.jobs.size());
+  r["jobs_failed"] = batch.failed_count();
+  r["jobs_degraded"] = batch.any_degraded() ? 1.0 : 0.0;
+  r["runtime_s"] = batch.runtime_s;
+  // One summary block per job under "extra"; the full per-job story lives
+  // in each job's own artifact subdirectory.
+  obs::Json jobs = obs::Json::array();
+  for (const BatchJobResult& job : batch.jobs) {
+    obs::Json entry = obs::Json::object();
+    entry.set("label", obs::Json::string(job.label));
+    entry.set("ok", obs::Json::boolean(job.ok));
+    if (!job.ok) {
+      entry.set("error", obs::Json::string(job.error));
+    } else {
+      entry.set("degraded", obs::Json::boolean(job.result.degraded));
+      entry.set("max_density",
+                obs::Json::number(static_cast<long long>(
+                    job.result.max_density_final)));
+      entry.set("ir_drop_v",
+                obs::Json::number(job.result.ir_final.max_drop_v));
+      entry.set("omega", obs::Json::number(static_cast<long long>(
+                             job.result.bonding_final.omega)));
+      entry.set("sa_final_cost",
+                obs::Json::number(job.result.anneal.final_cost));
+      entry.set("runtime_s", obs::Json::number(job.result.runtime_s));
+    }
+    jobs.push(std::move(entry));
+  }
+  obs::Json extra = obs::Json::object();
+  extra.set("batch_jobs", std::move(jobs));
+  manifest.extra = std::move(extra);
+}
+
 }  // namespace fp

@@ -1,12 +1,15 @@
-// Markdown report generation for a finished co-design run: the package
-// inventory, the before/after metric table, DRC and cut-line findings, and
-// the annealing statistics -- the artefact a team attaches to a design
-// review. Produced by `fpkit plan --report out.md`.
+// Report generation for a finished co-design run: the markdown document a
+// team attaches to a design review (`fpkit plan --report out.md`) and the
+// run-manifest fillers behind `--artifact-dir` (docs/ARTIFACTS.md). The
+// manifest struct itself lives in obs/artifact.h below the codesign
+// layer; this header is where FlowOptions/FlowResult get translated into
+// its generic JSON/number shape.
 #pragma once
 
 #include <string>
 
 #include "codesign/flow.h"
+#include "obs/artifact.h"
 #include "package/package.h"
 
 namespace fp {
@@ -19,5 +22,21 @@ namespace fp {
 /// Writes the document; throws IoError on failure.
 void save_flow_report(const Package& package, const FlowOptions& options,
                       const FlowResult& result, const std::string& path);
+
+/// FlowOptions as the manifest's "options" block (canonical JSON).
+[[nodiscard]] obs::Json flow_options_to_json(const FlowOptions& options);
+
+/// Copies one finished flow run into `manifest`: the options block, the
+/// consumed seeds (base seed plus one per extra SA replica), stage
+/// timings, degrade events and the headline results the paper reports.
+void fill_run_manifest(obs::RunManifest& manifest, const FlowOptions& options,
+                       const FlowResult& result);
+
+/// Batch variant: job counts plus per-job summary blocks under "extra".
+/// Per-job artifact subdirectories are written separately with a
+/// fill_run_manifest() manifest each (tools/fpkit_cli.cpp).
+void fill_batch_manifest(obs::RunManifest& manifest,
+                         const FlowOptions& base_options,
+                         const BatchResult& batch);
 
 }  // namespace fp

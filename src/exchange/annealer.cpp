@@ -43,11 +43,13 @@ Annealer::Annealer(SaSchedule schedule) : schedule_(schedule) {
           "Annealer: cooling factor must lie in (0, 1)");
   require(schedule_.moves_per_temperature > 0,
           "Annealer: moves_per_temperature must be positive");
+  require(!schedule_.metric_prefix.empty(),
+          "Annealer: metric_prefix must be non-empty");
 }
 
 AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
                            const Undo& undo) const {
-  const obs::ScopedSpan span("sa.anneal", "exchange");
+  const obs::ScopedSpan span(schedule_.metric_prefix + ".anneal", "exchange");
   Rng rng(schedule_.seed);
   AnnealResult result;
   result.initial_cost = initial_cost;
@@ -80,11 +82,11 @@ AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
     }
     if (obs::metrics_enabled() &&
         (record_shim || schedule_.record_every <= 0)) {
-      obs::sample("sa.cooling", cooling_columns(),
+      obs::sample(schedule_.metric_prefix + ".cooling", cooling_columns(),
                   {temperature, cost, static_cast<double>(result.accepted)});
     }
     if (obs::tracing_enabled()) {
-      obs::counter("sa",
+      obs::counter(schedule_.metric_prefix,
                    {{"temperature", temperature},
                     {"cost", cost},
                     {"accepted", static_cast<double>(result.accepted)}});
@@ -118,15 +120,16 @@ AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
   }
   result.final_cost = cost;
   if (obs::metrics_enabled()) {
-    obs::count("sa.runs");
-    obs::count("sa.stop." + std::string(to_string(result.stop)));
-    obs::count("sa.proposed", result.proposed);
-    obs::count("sa.accepted", result.accepted);
-    obs::count("sa.rejected_illegal", result.rejected_illegal);
-    obs::count("sa.temperature_steps", result.temperature_steps);
-    obs::gauge("sa.initial_cost", result.initial_cost);
-    obs::gauge("sa.final_cost", result.final_cost);
-    obs::gauge("sa.best_cost", result.best_cost);
+    const std::string& p = schedule_.metric_prefix;
+    obs::count(p + ".runs");
+    obs::count(p + ".stop." + std::string(to_string(result.stop)));
+    obs::count(p + ".proposed", result.proposed);
+    obs::count(p + ".accepted", result.accepted);
+    obs::count(p + ".rejected_illegal", result.rejected_illegal);
+    obs::count(p + ".temperature_steps", result.temperature_steps);
+    obs::gauge(p + ".initial_cost", result.initial_cost);
+    obs::gauge(p + ".final_cost", result.final_cost);
+    obs::gauge(p + ".best_cost", result.best_cost);
   }
   return result;
 }

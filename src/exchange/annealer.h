@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -36,6 +37,12 @@ struct SaSchedule {
   /// When > 0, one (temperature, cost) sample is recorded every
   /// `record_every` temperature steps (for convergence plots).
   int record_every = 0;
+  /// Prefix for every metric and trace-counter name this run emits
+  /// ("sa" -> "sa.runs", "sa.cooling", ...). Multi-start drivers set
+  /// "sa.replica<i>" per replica so concurrent replicas never alias one
+  /// another's counters; the winner's numbers are re-exported under the
+  /// plain "sa." names afterwards (see ExchangeOptimizer).
+  std::string metric_prefix = "sa";
   /// Cooperative deadline polled every temperature step and every 64
   /// proposals; on expiry the run stops with its best-so-far state and
   /// AnnealResult::stop = BudgetExpired. Non-owning; null = unlimited.

@@ -6,6 +6,8 @@
 
 #include "exec/exec.h"
 #include "exchange/incremental_cost.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include "power/compact_model.h"
 #include "power/ir_analysis.h"
@@ -63,31 +65,65 @@ double ExchangeOptimizer::cost(const PackageAssignment& assignment,
 ExchangeResult ExchangeOptimizer::optimize_multistart(
     const PackageAssignment& initial, int starts) const {
   require(starts >= 1, "optimize_multistart: starts must be positive");
+  if (starts == 1) return optimize(initial);
   // Replicas are fully independent: each gets its own ExchangeOptimizer
   // (so the mutable compact-model cache and the incremental-cost state
-  // stay replica-local) and its own seed. Results land in a slot keyed by
-  // replica index, so the selection below never depends on which worker
-  // finished first.
+  // stay replica-local), its own seed, and its own "sa.replica<i>" metric
+  // namespace -- concurrent replicas previously aliased one another's
+  // "sa.*" counters and the exported numbers were a thread-count-dependent
+  // jumble of all replicas. Results land in a slot keyed by replica index,
+  // so the selection below never depends on which worker finished first.
   std::vector<std::optional<ExchangeResult>> results(
       static_cast<std::size_t>(starts));
   exec::parallel_tasks(
       static_cast<std::size_t>(starts), [&](std::size_t i) {
+        const std::string prefix = "sa.replica" + std::to_string(i);
+        const obs::ScopedSpan span("exchange.replica" + std::to_string(i),
+                                   "exchange");
         ExchangeOptions options = options_;
         options.schedule.seed =
             options_.schedule.seed + static_cast<std::uint64_t>(i);
         options.schedule.restarts = 1;
+        options.schedule.metric_prefix = prefix;
         results[i] = ExchangeOptimizer(*package_, options).optimize(initial);
       });
   // Canonical selection: replica-index order with strict <, so ties go to
   // the lowest seed and the winner is identical at every thread count.
   std::optional<ExchangeResult> best;
-  for (auto& candidate : results) {
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& candidate = results[i];
     if (!candidate) continue;
     if (!best || candidate->anneal.final_cost < best->anneal.final_cost) {
       best = std::move(*candidate);
+      best_index = i;
     }
   }
   ensure(best.has_value(), "optimize_multistart: no replica completed");
+  // Re-export the winner under the plain "sa." names, so dashboards and
+  // `fpkit compare` keep one canonical per-run SA story regardless of the
+  // replica count (per-replica detail stays under "sa.replica<i>.*").
+  if (obs::metrics_enabled()) {
+    const AnnealResult& a = best->anneal;
+    obs::count("sa.runs");
+    obs::count("sa.stop." + std::string(to_string(a.stop)));
+    obs::count("sa.proposed", a.proposed);
+    obs::count("sa.accepted", a.accepted);
+    obs::count("sa.rejected_illegal", a.rejected_illegal);
+    obs::count("sa.temperature_steps", a.temperature_steps);
+    obs::gauge("sa.initial_cost", a.initial_cost);
+    obs::gauge("sa.final_cost", a.final_cost);
+    obs::gauge("sa.best_cost", a.best_cost);
+    obs::gauge("sa.winner_replica", static_cast<double>(best_index));
+    const std::optional<obs::SeriesSnapshot> cooling =
+        obs::MetricsRegistry::global().series(
+            "sa.replica" + std::to_string(best_index) + ".cooling");
+    if (cooling) {
+      for (const std::vector<double>& row : cooling->rows) {
+        obs::sample("sa.cooling", cooling->columns, row);
+      }
+    }
+  }
   return std::move(*best);
 }
 

@@ -1,5 +1,8 @@
 #include "exec/thread_pool.h"
 
+#include <string>
+
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace fp::exec {
@@ -16,7 +19,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads) {
   require(threads >= 1, "ThreadPool: thread count must be >= 1");
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_main(); });
+    workers_.emplace_back([this, i] { worker_main(i); });
   }
 }
 
@@ -48,7 +51,10 @@ void ThreadPool::drain(Job& job) {
   detail::g_in_region = false;
 }
 
-void ThreadPool::worker_main() {
+void ThreadPool::worker_main(int index) {
+  // Register with the trace tid registry up front, so every span or
+  // counter this worker ever records lands on a labelled track.
+  obs::set_thread_name("exec.worker" + std::to_string(index));
   std::uint64_t seen_generation = 0;
   while (true) {
     Job* job = nullptr;

@@ -52,7 +52,9 @@ class ThreadPool {
     std::mutex error_mutex;
   };
 
-  void worker_main();
+  /// `index` is the worker's stable 1-based slot (the caller is thread
+  /// 0); it names the thread in exported traces ("exec.worker3").
+  void worker_main(int index);
   /// Pulls and executes chunks of `job` until none remain.
   static void drain(Job& job);
 

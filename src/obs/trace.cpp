@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <mutex>
 
 #include "util/error.h"
@@ -20,6 +21,8 @@ struct TraceStore {
   std::mutex mutex;
   std::vector<SpanRecord> spans;
   std::vector<CounterRecord> counters;
+  // thread id -> label; deliberately not cleared by reset_trace().
+  std::map<int, std::string> thread_names;
 };
 
 TraceStore& store() {
@@ -134,6 +137,18 @@ void counter(std::string_view name,
   s.counters.push_back(std::move(record));
 }
 
+void set_thread_name(std::string_view name) {
+  TraceStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.thread_names[thread_id()] = std::string(name);
+}
+
+std::vector<std::pair<int, std::string>> thread_names() {
+  TraceStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return {s.thread_names.begin(), s.thread_names.end()};
+}
+
 std::vector<SpanRecord> trace_spans() {
   TraceStore& s = store();
   std::vector<SpanRecord> spans;
@@ -159,12 +174,22 @@ std::vector<CounterRecord> trace_counters() {
 std::string trace_to_json() {
   const std::vector<SpanRecord> spans = trace_spans();
   const std::vector<CounterRecord> counters = trace_counters();
+  const std::vector<std::pair<int, std::string>> names = thread_names();
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   const auto comma = [&]() {
     if (!first) out += ",";
     first = false;
   };
+  // Thread-name metadata first, so viewers label every track before the
+  // first real event: main thread, exec workers, SA replicas, batch jobs.
+  for (const auto& [tid, label] : names) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"";
+    json_escape_into(out, label);
+    out += "\"}}";
+  }
   for (const SpanRecord& span : spans) {
     comma();
     out += "{\"name\":\"";

@@ -76,6 +76,18 @@ void counter(std::string_view name,
              std::initializer_list<std::pair<std::string_view, double>>
                  values);
 
+/// Labels the calling thread in exported traces ("main", "exec.worker3").
+/// Names are recorded even while tracing is disabled -- worker threads
+/// register once at startup, possibly before the tracer is armed -- and
+/// survive reset_trace() so long-lived pools keep their labels. The last
+/// call per thread wins. Exported as Chrome "M"/thread_name metadata
+/// events, which is what merges per-thread/per-replica/per-batch-job
+/// tracks into one readable timeline (docs/ARTIFACTS.md).
+void set_thread_name(std::string_view name);
+
+/// (sequential thread id, label) pairs, ordered by id.
+[[nodiscard]] std::vector<std::pair<int, std::string>> thread_names();
+
 /// Snapshot of every finished span, ordered by (thread, start time).
 [[nodiscard]] std::vector<SpanRecord> trace_spans();
 

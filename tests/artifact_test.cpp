@@ -1,0 +1,281 @@
+// Run-artifact layer (obs/artifact.h, docs/ARTIFACTS.md): the canonical
+// JSON value/parser/writer, manifest round trips, the compare gating
+// semantics behind `fpkit compare`, and the `fpkit batch --jobs-file`
+// parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "codesign/flow.h"
+#include "obs/artifact.h"
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace fp {
+namespace {
+
+// --- canonical JSON ----------------------------------------------------
+
+TEST(ArtifactJson, DumpIsCanonicalAndRoundTrips) {
+  obs::Json doc = obs::Json::object();
+  doc.set("zeta", obs::Json::number(1.5));
+  doc.set("alpha", obs::Json::string("a \"b\"\n\t\\"));
+  obs::Json list = obs::Json::array();
+  list.push(obs::Json::boolean(true));
+  list.push(obs::Json());
+  list.push(obs::Json::number(1.0 / 3.0));
+  doc.set("list", std::move(list));
+
+  const std::string text = doc.dump();
+  // Keys are emitted sorted, independent of insertion order.
+  EXPECT_LT(text.find("\"alpha\""), text.find("\"list\""));
+  EXPECT_LT(text.find("\"list\""), text.find("\"zeta\""));
+  // parse(dump()) then dump() again is byte-identical.
+  const obs::Json back = obs::json_parse(text);
+  EXPECT_EQ(back.dump(), text);
+  // %.17g round-trips every double exactly.
+  EXPECT_EQ(back.at("list").items()[2].as_number(), 1.0 / 3.0);
+  EXPECT_EQ(back.at("alpha").as_string(), "a \"b\"\n\t\\");
+}
+
+TEST(ArtifactJson, StrictParserRejectsMalformedDocuments) {
+  EXPECT_THROW((void)obs::json_parse("{\"a\":1,}"), InvalidArgument);
+  EXPECT_THROW((void)obs::json_parse("[1 2]"), InvalidArgument);
+  EXPECT_THROW((void)obs::json_parse("{\"a\":1} x"), InvalidArgument);
+  EXPECT_THROW((void)obs::json_parse("NaN"), InvalidArgument);
+  EXPECT_THROW((void)obs::json_parse("Infinity"), InvalidArgument);
+  EXPECT_THROW((void)obs::json_parse(""), InvalidArgument);
+  EXPECT_THROW((void)obs::json_parse("{'a':1}"), InvalidArgument);
+  EXPECT_THROW((void)obs::json_parse("{\"a\"}"), InvalidArgument);
+}
+
+TEST(ArtifactJson, AccessorsEnforceKinds) {
+  const obs::Json number = obs::Json::number(2.0);
+  EXPECT_THROW((void)number.as_string(), InvalidArgument);
+  EXPECT_THROW((void)number.at("key"), InvalidArgument);
+  EXPECT_EQ(number.find("key"), nullptr);
+  const obs::Json object = obs::Json::object();
+  EXPECT_THROW((void)object.at("missing"), InvalidArgument);
+  EXPECT_FALSE(object.has("missing"));
+}
+
+TEST(ArtifactJson, NumberTextClampsNonFinite) {
+  // Strict JSON has no NaN/Infinity literal; the writers clamp to 0.
+  EXPECT_EQ(obs::json_number_text(std::nan("")), "0");
+  EXPECT_EQ(obs::json_number_text(HUGE_VAL), "0");
+  EXPECT_EQ(obs::json_number_text(-HUGE_VAL), "0");
+  EXPECT_EQ(obs::json_number_text(0.25), "0.25");
+}
+
+// --- manifest round trip -----------------------------------------------
+
+obs::RunManifest full_manifest() {
+  obs::RunManifest manifest;
+  manifest.subcommand = "batch";
+  manifest.version = "9.9.9";
+  manifest.threads = 4;
+  manifest.env = {{"FPKIT_THREADS", "4"}, {"FPKIT_TRACE", "1"}};
+  manifest.fault_spec = "solver.step:after=1:times=1000";
+  manifest.faults.push_back({"solver.step", 1, 1000, 6, 6});
+  manifest.options = obs::json_parse("{\"mesh\":32,\"method\":\"dfa\"}");
+  manifest.seeds = {1, 2, 3};
+  manifest.wall_s = 1.25;
+  manifest.exit_code = 3;
+  manifest.stages = {{"assign", 0.5}, {"exchange", 0.75}};
+  manifest.events.push_back({"exchange", "budget_expired", "stopped early"});
+  manifest.results = {{"sa_final_cost", 10.5}, {"runtime_s", 1.2}};
+  manifest.extra = obs::json_parse("{\"label\":\"stress\"}");
+  return manifest;
+}
+
+TEST(ArtifactManifest, JsonRoundTripPreservesEveryField) {
+  const obs::RunManifest manifest = full_manifest();
+  const obs::Json doc = obs::manifest_to_json(manifest);
+  EXPECT_EQ(doc.at("schema").as_string(), "fpkit.run.v1");
+
+  const obs::RunManifest back = obs::manifest_from_json(doc);
+  EXPECT_EQ(back.subcommand, "batch");
+  EXPECT_EQ(back.version, "9.9.9");
+  EXPECT_EQ(back.threads, 4);
+  EXPECT_EQ(back.env, manifest.env);
+  EXPECT_EQ(back.fault_spec, manifest.fault_spec);
+  ASSERT_EQ(back.faults.size(), 1u);
+  EXPECT_EQ(back.faults[0].site, "solver.step");
+  EXPECT_EQ(back.faults[0].after, 1);
+  EXPECT_EQ(back.faults[0].times, 1000);
+  EXPECT_EQ(back.faults[0].hits, 6);
+  EXPECT_EQ(back.faults[0].fired, 6);
+  EXPECT_EQ(back.seeds, manifest.seeds);
+  EXPECT_EQ(back.wall_s, 1.25);
+  EXPECT_EQ(back.exit_code, 3);
+  ASSERT_EQ(back.stages.size(), 2u);
+  EXPECT_EQ(back.stages[1].name, "exchange");
+  EXPECT_EQ(back.stages[1].seconds, 0.75);
+  ASSERT_EQ(back.events.size(), 1u);
+  EXPECT_EQ(back.events[0].reason, "budget_expired");
+  EXPECT_EQ(back.results, manifest.results);
+  EXPECT_EQ(back.extra.at("label").as_string(), "stress");
+  // Canonical writer: the round trip is byte-identical.
+  EXPECT_EQ(obs::manifest_to_json(back).dump(), doc.dump());
+}
+
+TEST(ArtifactManifest, RejectsWrongOrMissingSchema) {
+  obs::Json doc = obs::manifest_to_json(full_manifest());
+  doc.set("schema", obs::Json::string("fpkit.other.v1"));
+  EXPECT_THROW((void)obs::manifest_from_json(doc), InvalidArgument);
+  EXPECT_THROW((void)obs::manifest_from_json(obs::json_parse("{}")),
+               InvalidArgument);
+}
+
+// --- compare gating ----------------------------------------------------
+
+std::string write_compare_artifact(const std::string& name, double exchange_s,
+                                   double tiny_s, double cost) {
+  obs::RunManifest manifest;
+  manifest.subcommand = "run";
+  manifest.version = std::string(obs::kToolVersion);
+  manifest.wall_s = exchange_s + tiny_s;
+  manifest.stages = {{"exchange", exchange_s}, {"analyze_initial", tiny_s}};
+  manifest.results = {{"sa_final_cost", cost},
+                      {"runtime_s", exchange_s + tiny_s},
+                      {"max_density_final", 2.0}};
+  const std::string dir = ::testing::TempDir() + name;
+  obs::write_run_artifact(dir, manifest, /*include_metrics=*/false,
+                          /*include_trace=*/false);
+  return dir;
+}
+
+TEST(ArtifactCompare, UngatedCompareOnlyReportsDeltas) {
+  const std::string a = write_compare_artifact("cmp_plain_a", 0.10, 0.001, 5.0);
+  const std::string b = write_compare_artifact("cmp_plain_b", 0.35, 0.009, 5.5);
+  const obs::CompareReport report = obs::compare_artifacts(a, b, {});
+  EXPECT_GT(report.compared, 0);
+  EXPECT_FALSE(report.findings.empty());  // the quantities differ...
+  EXPECT_EQ(report.regressions(), 0);     // ...but no gate is armed
+  std::filesystem::remove_all(a);
+  std::filesystem::remove_all(b);
+}
+
+TEST(ArtifactCompare, SlowdownGateFlagsBreachesAboveTheFloorOnly) {
+  // exchange slows 3.5x (gated); analyze_initial slows 9x but sits under
+  // min_time_s, where stage ratios are pure noise.
+  const std::string a = write_compare_artifact("cmp_slow_a", 0.10, 0.001, 5.0);
+  const std::string b = write_compare_artifact("cmp_slow_b", 0.35, 0.009, 5.0);
+  obs::CompareOptions gates;
+  gates.max_slowdown = 2.0;
+  const obs::CompareReport report = obs::compare_artifacts(a, b, gates);
+  bool exchange_flagged = false;
+  bool tiny_flagged = false;
+  for (const obs::CompareFinding& finding : report.findings) {
+    if (!finding.regression) continue;
+    if (finding.name.find("exchange") != std::string::npos) {
+      exchange_flagged = true;
+    }
+    if (finding.name.find("analyze_initial") != std::string::npos) {
+      tiny_flagged = true;
+    }
+  }
+  EXPECT_TRUE(exchange_flagged);
+  EXPECT_FALSE(tiny_flagged);
+  EXPECT_GT(report.regressions(), 0);
+
+  // The gate is one-sided: B being *faster* than A never regresses.
+  const obs::CompareReport reversed = obs::compare_artifacts(b, a, gates);
+  EXPECT_EQ(reversed.regressions(), 0);
+  std::filesystem::remove_all(a);
+  std::filesystem::remove_all(b);
+}
+
+TEST(ArtifactCompare, EqualCostGateCatchesDrift) {
+  const std::string a = write_compare_artifact("cmp_cost_a", 0.10, 0.001, 5.0);
+  const std::string b = write_compare_artifact("cmp_cost_b", 0.10, 0.001, 5.5);
+  obs::CompareOptions gates;
+  gates.require_equal_cost = true;
+  const obs::CompareReport report = obs::compare_artifacts(a, b, gates);
+  bool cost_flagged = false;
+  for (const obs::CompareFinding& finding : report.findings) {
+    if (finding.regression &&
+        finding.name.find("cost") != std::string::npos) {
+      cost_flagged = true;
+    }
+  }
+  EXPECT_TRUE(cost_flagged);
+  EXPECT_GT(report.regressions(), 0);
+  std::filesystem::remove_all(a);
+  std::filesystem::remove_all(b);
+}
+
+TEST(ArtifactCompare, MissingArtifactThrows) {
+  const std::string good =
+      write_compare_artifact("cmp_lone", 0.10, 0.001, 5.0);
+  EXPECT_THROW((void)obs::compare_artifacts(
+                   good, ::testing::TempDir() + "cmp_does_not_exist", {}),
+               Error);
+  std::filesystem::remove_all(good);
+}
+
+// --- batch jobs files --------------------------------------------------
+
+std::string write_jobs_file(const std::string& name,
+                            const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(BatchJobsFile, ParsesLabelsCommentsAndOverrides) {
+  const std::string path = write_jobs_file(
+      "jobs_ok.txt",
+      "# sweep for the nightly determinism job\n"
+      "\n"
+      "baseline  method=dfa seed=3\n"
+      "method=ifa seed=7 mesh=48 exchange=off restarts=4 lambda=10.5\n");
+  FlowOptions base;
+  const std::vector<BatchJob> jobs = load_batch_jobs(path, base);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].label, "baseline");
+  EXPECT_EQ(jobs[0].options.method, AssignmentMethod::Dfa);
+  EXPECT_EQ(jobs[0].options.random_seed, 3u);
+  // Unlabelled jobs get the --methods/--seeds cross-product convention.
+  EXPECT_EQ(jobs[1].label, "IFA/seed=7");
+  EXPECT_EQ(jobs[1].options.method, AssignmentMethod::Ifa);
+  EXPECT_EQ(jobs[1].options.grid_spec.nodes_per_side, 48);
+  EXPECT_FALSE(jobs[1].options.run_exchange);
+  EXPECT_EQ(jobs[1].options.exchange.schedule.restarts, 4);
+  EXPECT_EQ(jobs[1].options.exchange.lambda, 10.5);
+  // Untouched fields inherit the base options.
+  EXPECT_EQ(jobs[0].options.grid_spec.nodes_per_side,
+            base.grid_spec.nodes_per_side);
+}
+
+TEST(BatchJobsFile, RejectsMalformedInput) {
+  FlowOptions base;
+  EXPECT_THROW((void)load_batch_jobs(
+                   write_jobs_file("jobs_bad_key.txt", "method=dfa bogus=1\n"),
+                   base),
+               InvalidArgument);
+  EXPECT_THROW((void)load_batch_jobs(
+                   write_jobs_file("jobs_bad_int.txt", "seed=notanumber\n"),
+                   base),
+               InvalidArgument);
+  EXPECT_THROW(
+      (void)load_batch_jobs(
+          write_jobs_file("jobs_two_labels.txt", "one two method=dfa\n"),
+          base),
+      InvalidArgument);
+  EXPECT_THROW((void)load_batch_jobs(
+                   write_jobs_file("jobs_empty.txt", "# nothing here\n"),
+                   base),
+               InvalidArgument);
+  EXPECT_THROW((void)load_batch_jobs(
+                   ::testing::TempDir() + "jobs_missing.txt", base),
+               IoError);
+}
+
+}  // namespace
+}  // namespace fp

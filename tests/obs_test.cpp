@@ -6,12 +6,21 @@
 
 #include <cmath>
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "assign/dfa.h"
 #include "codesign/flow.h"
+#include "codesign/report.h"
+#include "exchange/exchange.h"
+#include "obs/artifact.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "package/circuit_generator.h"
@@ -506,6 +515,200 @@ TEST(FlowObs, DisabledTracingIsBitIdentical) {
     EXPECT_EQ(plain.final.quadrants[qi].order,
               traced.final.quadrants[qi].order);
   }
+}
+
+// --- run artifacts -----------------------------------------------------
+
+TEST_F(ObsTest, TraceRecordsThreadNames) {
+  obs::set_thread_name("obs-test-main");
+  {
+    const obs::ScopedSpan span("named", "test");
+  }
+  const std::string text = obs::trace_to_json();
+  const Json doc = JsonParser(text).parse();
+  bool found = false;
+  for (const Json& event : doc.at("traceEvents").array) {
+    if (event.at("ph").string != "M") continue;
+    EXPECT_EQ(event.at("name").string, "thread_name");
+    if (event.at("args").at("name").string == "obs-test-main") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, ArtifactRoundTripsThroughStrictParser) {
+  const Package package = circuit1();
+  const FlowOptions options = light_flow();
+  const FlowResult result = CodesignFlow(options).run(package);
+
+  obs::RunManifest manifest;
+  manifest.subcommand = "run";
+  manifest.version = std::string(obs::kToolVersion);
+  manifest.threads = 2;
+  manifest.wall_s = result.runtime_s;
+  fill_run_manifest(manifest, options, result);
+
+  const std::string dir = ::testing::TempDir() + "fpkit_obs_artifact";
+  obs::write_run_artifact(dir, manifest);
+  // Atomic write: the staging directory was renamed away, not left behind.
+  EXPECT_FALSE(std::filesystem::exists(dir + ".tmp-partial"));
+
+  // Every document the artifact writer emits parses under the test's own
+  // strict parser (no trailing commas, no non-finite literals...).
+  for (const char* name : {"manifest.json", "metrics.json", "trace.json"}) {
+    std::ifstream in(dir + "/" + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const Json doc = JsonParser(text).parse();
+    ASSERT_EQ(doc.kind, Json::Kind::Object) << name;
+    if (std::string(name) == "manifest.json") {
+      EXPECT_EQ(doc.at("schema").string, "fpkit.run.v1");
+      EXPECT_EQ(doc.at("subcommand").string, "run");
+      EXPECT_DOUBLE_EQ(doc.at("threads").number, 2.0);
+      EXPECT_TRUE(doc.has("options"));
+      EXPECT_TRUE(doc.has("results"));
+      EXPECT_TRUE(doc.has("stages"));
+    }
+  }
+
+  // Re-reading through the production loader preserves every field, and
+  // the canonical writer re-emits the document byte for byte.
+  const obs::LoadedArtifact loaded = obs::load_run_artifact(dir);
+  EXPECT_EQ(loaded.manifest.subcommand, "run");
+  EXPECT_EQ(loaded.manifest.threads, 2);
+  EXPECT_EQ(loaded.manifest.results.at("sa_final_cost"),
+            result.anneal.final_cost);
+  EXPECT_EQ(loaded.manifest.stages.size(), result.stage_timings.size());
+  const std::string once = obs::manifest_to_json(manifest).dump();
+  const std::string again = obs::manifest_to_json(loaded.manifest).dump();
+  EXPECT_EQ(once, again);
+  EXPECT_EQ(obs::json_parse(once).dump(), once);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsTest, CompareOfIdenticalArtifactIsCleanUnderStrictGates) {
+  const Package package = circuit1();
+  const FlowOptions options = light_flow();
+  const FlowResult result = CodesignFlow(options).run(package);
+
+  obs::RunManifest manifest;
+  manifest.subcommand = "run";
+  manifest.version = std::string(obs::kToolVersion);
+  fill_run_manifest(manifest, options, result);
+  const std::string dir = ::testing::TempDir() + "fpkit_obs_selfcmp";
+  obs::write_run_artifact(dir, manifest);
+
+  // Self-compare under the strictest gates: every ratio is exactly 1 and
+  // every cost bit-equal, so nothing differs and nothing regresses.
+  obs::CompareOptions gates;
+  gates.max_slowdown = 1.0;
+  gates.require_equal_cost = true;
+  const obs::CompareReport report = obs::compare_artifacts(dir, dir, gates);
+  EXPECT_GT(report.compared, 0);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.regressions(), 0);
+  std::filesystem::remove_all(dir);
+}
+
+// --- metrics registry under concurrency (TSan-covered in CI) -----------
+
+TEST(MetricsParallel, ConcurrentRegistryWritersAreLinearizable) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 400;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry, t] {
+      const std::string mine = "thread" + std::to_string(t);
+      for (int i = 0; i < kOps; ++i) {
+        registry.add("shared.hits");
+        registry.add(mine + ".hits");
+        registry.set(mine + ".level", i);
+        registry.observe("shared.histogram", i % 10, {2.0, 5.0});
+        registry.append(mine + ".series", {"i"},
+                        {static_cast<double>(i)});
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  EXPECT_EQ(registry.counter_value("shared.hits"),
+            static_cast<long long>(kThreads) * kOps);
+  const std::optional<obs::HistogramSnapshot> h =
+      registry.histogram("shared.histogram");
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->count, static_cast<std::size_t>(kThreads) * kOps);
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string mine = "thread" + std::to_string(t);
+    EXPECT_EQ(registry.counter_value(mine + ".hits"), kOps) << mine;
+    EXPECT_EQ(registry.gauge_value(mine + ".level"), kOps - 1.0) << mine;
+    const std::optional<obs::SeriesSnapshot> s =
+        registry.series(mine + ".series");
+    ASSERT_TRUE(s.has_value()) << mine;
+    EXPECT_EQ(s->rows.size(), static_cast<std::size_t>(kOps)) << mine;
+  }
+}
+
+// --- multi-start SA telemetry ------------------------------------------
+
+class MultistartObs : public ObsTest {};
+
+TEST_F(MultistartObs, ReplicaMetricsArePrefixedAndWinnerReexported) {
+  const Package package = circuit1();
+  const PackageAssignment initial = DfaAssigner().assign(package);
+  ExchangeOptions options;
+  options.schedule.initial_temperature = 2.0;
+  options.schedule.final_temperature = 0.1;
+  options.schedule.cooling = 0.8;
+  options.schedule.moves_per_temperature = 8;
+  const ExchangeOptimizer optimizer(package, options);
+  const ExchangeResult result = optimizer.optimize_multistart(initial, 3);
+
+  obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  // Each replica publishes under its own namespace: no aliasing.
+  for (int i = 0; i < 3; ++i) {
+    const std::string p = "sa.replica" + std::to_string(i);
+    EXPECT_EQ(m.counter_value(p + ".runs"), 1) << p;
+    EXPECT_TRUE(m.gauge_value(p + ".final_cost").has_value()) << p;
+    EXPECT_TRUE(m.series(p + ".cooling").has_value()) << p;
+  }
+  // The winner is re-exported unprefixed so single- and multi-start runs
+  // share one dashboard namespace, and it matches the returned result.
+  EXPECT_EQ(m.counter_value("sa.runs"), 1);
+  const std::optional<double> winner = m.gauge_value("sa.winner_replica");
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_GE(*winner, 0.0);
+  EXPECT_LT(*winner, 3.0);
+  const std::string wp =
+      "sa.replica" + std::to_string(static_cast<int>(*winner));
+  EXPECT_EQ(m.gauge_value("sa.final_cost"),
+            m.gauge_value(wp + ".final_cost"));
+  EXPECT_EQ(m.gauge_value("sa.best_cost"), m.gauge_value(wp + ".best_cost"));
+  EXPECT_EQ(m.gauge_value("sa.final_cost"), result.anneal.final_cost);
+  const std::optional<obs::SeriesSnapshot> cooling = m.series("sa.cooling");
+  ASSERT_TRUE(cooling.has_value());
+  EXPECT_EQ(cooling->rows.size(), m.series(wp + ".cooling")->rows.size());
+}
+
+TEST_F(MultistartObs, SingleStartStaysUnprefixed) {
+  const Package package = circuit1();
+  const PackageAssignment initial = DfaAssigner().assign(package);
+  ExchangeOptions options;
+  options.schedule.initial_temperature = 2.0;
+  options.schedule.final_temperature = 0.1;
+  options.schedule.cooling = 0.8;
+  options.schedule.moves_per_temperature = 8;
+  const ExchangeOptimizer optimizer(package, options);
+  (void)optimizer.optimize_multistart(initial, 1);
+
+  // starts == 1 is the plain legacy path: unprefixed metrics only, no
+  // replica namespaces, no winner gauge.
+  obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  EXPECT_EQ(m.counter_value("sa.runs"), 1);
+  EXPECT_FALSE(m.counter_value("sa.replica0.runs").has_value());
+  EXPECT_FALSE(m.gauge_value("sa.winner_replica").has_value());
 }
 
 }  // namespace

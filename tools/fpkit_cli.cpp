@@ -10,7 +10,8 @@
 //   fpkit check    <circuit.fp> [--assignment a.fpa] [--method ...]
 //                  [--json] [--out report.json] [--strict] [--list-rules]
 //   fpkit batch    <circuit.fp> [--methods dfa,ifa,random] [--seeds 1,2,3]
-//                  [--jobs N] [...any run flag]
+//                  [--jobs N] [--jobs-file jobs.txt] [...any run flag]
+//   fpkit compare  <runA> <runB> [--max-slowdown X] [--require-equal-cost]
 //
 // Parallelism (docs/PARALLELISM.md): --threads N (0 = all cores; env
 // FPKIT_THREADS; default 1) sizes the exec worker pool for any
@@ -22,6 +23,10 @@
 //   --trace <file.json>    span trace (Chrome trace event format; open in
 //                          Perfetto or chrome://tracing)
 //   --metrics <file.json>  metrics snapshot (fpkit.metrics.v1 schema)
+//   --artifact-dir <dir>   run-artifact flight recorder: atomically writes
+//                          manifest.json + metrics.json + trace.json for
+//                          `fpkit compare` (docs/ARTIFACTS.md)
+//                          [env FPKIT_ARTIFACT_DIR]
 // and the FPKIT_TRACE=<file> environment variable as an override path for
 // --trace. FPKIT_LOG_LEVEL=debug|info|warn|error|off sets the log
 // threshold (util/log.h). Tracing is off by default and does not change
@@ -54,6 +59,8 @@
 #include "exec/exec.h"
 #include "io/assignment_file.h"
 #include "io/circuit_file.h"
+#include "obs/artifact.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "package/circuit_generator.h"
@@ -67,6 +74,7 @@
 #include "util/error.h"
 #include "util/faultpoint.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -74,7 +82,8 @@ using namespace fp;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fpkit <generate|info|run|route|ir> [flags]\n"
+               "usage: fpkit <generate|info|run|route|ir|spice|check|batch|"
+               "compare> [flags]\n"
                "  generate --table1 <1..5> [--tiers N] [--seed S] "
                "[--supply F] --out <file.fp>\n"
                "  info     <circuit.fp>\n"
@@ -94,7 +103,10 @@ int usage() {
                " [--list-rules]\n"
                "  batch    <circuit.fp> [--methods dfa,ifa,random]"
                " [--seeds 1,2,3]\n"
-               "           [--jobs N] [--mesh K] [...run flags]\n"
+               "           [--jobs N] [--jobs-file jobs.txt] [--mesh K]"
+               " [...run flags]\n"
+               "  compare  <runA> <runB> [--max-slowdown X]"
+               " [--require-equal-cost] [--min-time S]\n"
                "parallelism (see docs/PARALLELISM.md):\n"
                "  --threads N         worker threads, 0 = all cores"
                " [env FPKIT_THREADS; default 1]\n"
@@ -104,6 +116,8 @@ int usage() {
                "  --trace <t.json>    span trace (Perfetto/chrome://tracing)"
                " [env FPKIT_TRACE]\n"
                "  --metrics <m.json>  counters/gauges/histograms snapshot\n"
+               "  --artifact-dir <d>  manifest+metrics+trace flight recorder"
+               " [env FPKIT_ARTIFACT_DIR]\n"
                "resilience (any subcommand; see docs/ROBUSTNESS.md):\n"
                "  --budget S [--budget-exchange S] [--budget-analyze S]"
                "  wall-clock caps\n"
@@ -113,6 +127,24 @@ int usage() {
                "3 degraded result, 4 internal error\n");
   return 2;
 }
+
+/// Run-artifact flight recorder (docs/ARTIFACTS.md). Armed by
+/// --artifact-dir or FPKIT_ARTIFACT_DIR; the subcommand handlers fill the
+/// manifest (codesign/report.h fillers) and main() publishes the
+/// directory once the exit code and wall time are known -- on the error
+/// path too, so a failing run still leaves its flight recording behind.
+struct ArtifactState {
+  std::string dir;  // empty = disabled
+  obs::RunManifest manifest;
+  /// Per-batch-job artifacts: (subdirectory below dir, manifest). Jobs
+  /// carry only a manifest -- metrics and trace are process-wide and live
+  /// in the parent artifact.
+  std::vector<std::pair<std::string, obs::RunManifest>> jobs;
+
+  [[nodiscard]] bool active() const { return !dir.empty(); }
+};
+
+ArtifactState g_artifact;
 
 AssignmentMethod parse_method(const std::string& name) {
   if (name == "random") return AssignmentMethod::Random;
@@ -205,6 +237,9 @@ int cmd_plan(const ArgParser& args) {
   const Package package = load_input(args);
   const FlowOptions options = flow_options(args);
   const FlowResult result = CodesignFlow(options).run(package);
+  if (g_artifact.active()) {
+    fill_run_manifest(g_artifact.manifest, options, result);
+  }
   std::printf("%s", CodesignFlow::summary(package, result).c_str());
   const DrcReport drc = check_design_rules(package, result.final);
   std::printf("  DRC           : %zu violating gaps, overflow %d "
@@ -278,6 +313,9 @@ int cmd_ir(const ArgParser& args) {
   const Package package = load_input(args);
   const FlowOptions options = flow_options(args);
   const FlowResult result = CodesignFlow(options).run(package);
+  if (g_artifact.active()) {
+    fill_run_manifest(g_artifact.manifest, options, result);
+  }
   std::printf("max IR-drop: %.2f mV (before exchange %.2f mV, %.2f%% "
               "improvement)\n",
               result.ir_final.max_drop_v * 1e3,
@@ -347,6 +385,17 @@ int cmd_check(const ArgParser& args) {
   }
 
   const CheckReport report = run_checks(context);
+  if (g_artifact.active()) {
+    g_artifact.manifest.options = flow_options_to_json(options);
+    g_artifact.manifest.seeds.push_back(options.random_seed);
+    auto& results = g_artifact.manifest.results;
+    results["check_rules_run"] = report.rules_run;
+    results["check_errors"] = static_cast<double>(report.error_count());
+    results["check_warnings"] = static_cast<double>(report.warning_count());
+    obs::Json extra = obs::Json::object();
+    extra.set("check", obs::json_parse(report.to_json()));
+    g_artifact.manifest.extra = std::move(extra);
+  }
   const std::string json_path = args.get_string("out", "");
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -361,10 +410,10 @@ int cmd_check(const ArgParser& args) {
   return failed ? 1 : 0;
 }
 
-/// `fpkit batch`: the methods x seeds cross product of one base option
-/// set, fanned out over the worker pool via run_flow_batch. Job order --
-/// and therefore output order -- is methods-major and thread-count
-/// independent.
+/// `fpkit batch`: either a --jobs-file job list or the methods x seeds
+/// cross product of one base option set, fanned out over the worker pool
+/// via run_flow_batch. Job order -- and therefore output order -- follows
+/// the file / is methods-major, and is thread-count independent.
 int cmd_batch(const ArgParser& args) {
   const Package package = load_input(args);
   const FlowOptions base = flow_options(args);
@@ -372,30 +421,66 @@ int cmd_batch(const ArgParser& args) {
     exec::set_default_threads(static_cast<int>(args.get_int("jobs", 0)));
   }
 
-  const std::vector<std::string> methods =
-      split(args.get_string("methods", "dfa"), ',');
-  const std::vector<std::string> seeds = split(
-      args.get_string("seeds",
-                      std::to_string(static_cast<long long>(base.random_seed))),
-      ',');
   std::vector<BatchJob> jobs;
-  for (const std::string& method_name : methods) {
-    for (const std::string& seed_text : seeds) {
-      BatchJob job;
-      job.options = base;
-      job.options.method = parse_method(std::string(trim(method_name)));
-      const std::uint64_t seed =
-          static_cast<std::uint64_t>(parse_int(trim(seed_text)));
-      job.options.random_seed = seed;
-      job.options.exchange.schedule.seed = seed;
-      job.label = std::string(to_string(job.options.method)) +
-                  "/seed=" + std::to_string(seed);
-      jobs.push_back(std::move(job));
+  const std::string jobs_file = args.get_string("jobs-file", "");
+  if (!jobs_file.empty()) {
+    require(!args.has("methods") && !args.has("seeds"),
+            "batch: --jobs-file excludes --methods/--seeds");
+    jobs = load_batch_jobs(jobs_file, base);
+  } else {
+    const std::vector<std::string> methods =
+        split(args.get_string("methods", "dfa"), ',');
+    const std::vector<std::string> seeds = split(
+        args.get_string(
+            "seeds",
+            std::to_string(static_cast<long long>(base.random_seed))),
+        ',');
+    for (const std::string& method_name : methods) {
+      for (const std::string& seed_text : seeds) {
+        BatchJob job;
+        job.options = base;
+        job.options.method = parse_method(std::string(trim(method_name)));
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>(parse_int(trim(seed_text)));
+        job.options.random_seed = seed;
+        job.options.exchange.schedule.seed = seed;
+        job.label = std::string(to_string(job.options.method)) +
+                    "/seed=" + std::to_string(seed);
+        jobs.push_back(std::move(job));
+      }
     }
+    require(!jobs.empty(), "batch: --methods/--seeds produced no jobs");
   }
-  require(!jobs.empty(), "batch: --methods/--seeds produced no jobs");
+
+  // run_flow_batch consumes the job list; keep the per-job options when
+  // the flight recorder needs them for the per-job manifests below.
+  std::vector<FlowOptions> job_options;
+  if (g_artifact.active()) {
+    job_options.reserve(jobs.size());
+    for (const BatchJob& job : jobs) job_options.push_back(job.options);
+  }
 
   const BatchResult batch = run_flow_batch(package, std::move(jobs));
+  if (g_artifact.active()) {
+    fill_batch_manifest(g_artifact.manifest, base, batch);
+    for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+      const BatchJobResult& job = batch.jobs[i];
+      obs::RunManifest manifest;
+      manifest.subcommand = "batch-job";
+      obs::Json extra = obs::Json::object();
+      extra.set("label", obs::Json::string(job.label));
+      if (job.ok) {
+        fill_run_manifest(manifest, job_options[i], job.result);
+        manifest.exit_code = job.result.degraded ? 3 : 0;
+      } else {
+        extra.set("error", obs::Json::string(job.error));
+        manifest.exit_code = 4;
+      }
+      manifest.extra = std::move(extra);
+      g_artifact.jobs.emplace_back("jobs/job" + std::to_string(i),
+                                   std::move(manifest));
+    }
+  }
   std::printf("batch: %zu job(s) on %d thread(s), %.3f s\n",
               batch.jobs.size(), exec::default_threads(), batch.runtime_s);
   std::printf("  %-16s %-8s %9s %12s %6s %9s\n", "job", "status",
@@ -424,6 +509,29 @@ int cmd_batch(const ArgParser& args) {
   return 0;
 }
 
+/// `fpkit compare`: diff two run artifacts with the CI exit contract
+/// 0 ok / 3 regression / 2 bad input (docs/ARTIFACTS.md). Without gate
+/// flags every difference is informational and the exit code is 0.
+int cmd_compare(const ArgParser& args) {
+  require(args.positional().size() == 2,
+          "compare: need exactly two artifact directories");
+  obs::CompareOptions options;
+  options.max_slowdown = args.get_double("max-slowdown", 0.0);
+  require(options.max_slowdown >= 0.0, "--max-slowdown must be >= 0");
+  options.min_time_s = args.get_double("min-time", options.min_time_s);
+  options.require_equal_cost = args.has("require-equal-cost");
+  const obs::CompareReport report = obs::compare_artifacts(
+      args.positional()[0], args.positional()[1], options);
+  std::printf("comparing %s vs %s\n%s", args.positional()[0].c_str(),
+              args.positional()[1].c_str(), report.to_string().c_str());
+  if (report.regressions() > 0) {
+    std::fprintf(stderr, "fpkit compare: %d regression(s) (exit code 3)\n",
+                 report.regressions());
+    return 3;
+  }
+  return 0;
+}
+
 int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "info") return cmd_info(args);
@@ -433,6 +541,7 @@ int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "spice") return cmd_spice(args);
   if (command == "check") return cmd_check(args);
   if (command == "batch") return cmd_batch(args);
+  if (command == "compare") return cmd_compare(args);
   return usage();
 }
 
@@ -444,15 +553,30 @@ struct ObsPaths {
   std::string metrics;
 };
 
-ObsPaths arm_observability(const ArgParser& args) {
+ObsPaths arm_observability(const ArgParser& args,
+                           const std::string& command) {
   ObsPaths paths;
   paths.trace = args.get_string("trace", "");
   if (paths.trace.empty()) {
     if (const char* env = std::getenv("FPKIT_TRACE")) paths.trace = env;
   }
   paths.metrics = args.get_string("metrics", "");
-  if (!paths.trace.empty()) obs::set_tracing_enabled(true);
-  if (!paths.trace.empty() || !paths.metrics.empty()) {
+  // The flight recorder wants the full flight: an armed artifact dir
+  // turns on both metrics and tracing. `compare` reads artifacts rather
+  // than producing one, so it ignores an inherited FPKIT_ARTIFACT_DIR.
+  if (command != "compare") {
+    g_artifact.dir = args.get_string("artifact-dir", "");
+    if (g_artifact.dir.empty()) {
+      if (const char* env = std::getenv("FPKIT_ARTIFACT_DIR")) {
+        g_artifact.dir = env;
+      }
+    }
+  }
+  if (!paths.trace.empty() || g_artifact.active()) {
+    obs::set_tracing_enabled(true);
+  }
+  if (!paths.trace.empty() || !paths.metrics.empty() ||
+      g_artifact.active()) {
     obs::set_metrics_enabled(true);
   }
   return paths;
@@ -471,6 +595,30 @@ void save_observability(const ObsPaths& paths) {
     obs::MetricsRegistry::global().save(paths.metrics);
     std::printf("wrote %s\n", paths.metrics.c_str());
   }
+}
+
+/// Publishes the armed artifact directory once the exit code and wall
+/// time are known (called on the error path too).
+void save_artifact(const std::string& command, int exit_code,
+                   double wall_s) {
+  if (!g_artifact.active()) return;
+  obs::RunManifest& manifest = g_artifact.manifest;
+  manifest.subcommand = command;
+  manifest.version = std::string(obs::kToolVersion);
+  manifest.threads = exec::default_threads();
+  manifest.wall_s = wall_s;
+  manifest.exit_code = exit_code;
+  obs::capture_environment(manifest);
+  obs::write_run_artifact(g_artifact.dir, manifest);
+  for (auto& [subdir, job_manifest] : g_artifact.jobs) {
+    job_manifest.version = manifest.version;
+    job_manifest.threads = manifest.threads;
+    obs::write_run_artifact(g_artifact.dir + "/" + subdir, job_manifest,
+                            /*include_metrics=*/false,
+                            /*include_trace=*/false);
+  }
+  std::printf("wrote artifact %s (%zu job artifact(s))\n",
+              g_artifact.dir.c_str(), g_artifact.jobs.size());
 }
 
 /// The documented exit-code contract: bad input is the caller's fault
@@ -492,8 +640,10 @@ int exit_code_for(const fp::Error& error) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const fp::Timer wall;
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  fp::obs::set_thread_name("main");
   ObsPaths obs_paths;
   try {
     const ArgParser args(argc - 1, argv + 1);
@@ -502,18 +652,28 @@ int main(int argc, char** argv) {
     if (args.has("threads")) {
       exec::set_default_threads(static_cast<int>(args.get_int("threads", 0)));
     }
-    obs_paths = arm_observability(args);
+    obs_paths = arm_observability(args, command);
     fault::arm_from_env();
     const std::string inject = args.get_string("inject", "");
     if (!inject.empty()) fault::arm(inject);
+    if (g_artifact.active()) {
+      g_artifact.manifest.fault_spec = inject;
+      if (inject.empty()) {
+        if (const char* env = std::getenv("FPKIT_FAULTS")) {
+          g_artifact.manifest.fault_spec = env;
+        }
+      }
+    }
     const int code = dispatch(command, args);
     save_observability(obs_paths);
+    save_artifact(command, code, wall.seconds());
     return code;
   } catch (const fp::Error& e) {
     std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(),
                  e.describe().c_str());
     try {
       save_observability(obs_paths);
+      save_artifact(command, exit_code_for(e), wall.seconds());
     } catch (const fp::Error& save_error) {
       std::fprintf(stderr, "fpkit %s: %s\n", command.c_str(),
                    save_error.what());
