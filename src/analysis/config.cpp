@@ -1,0 +1,184 @@
+#include "analysis/config.h"
+
+#include <cctype>
+#include <cstdio>
+#include <ctime>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace fp {
+
+std::string utc_today() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday);
+  return buffer;
+}
+
+namespace {
+
+bool is_iso_date(std::string_view text) {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return false;
+  for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      return false;
+    }
+  }
+  const int month = (text[5] - '0') * 10 + (text[6] - '0');
+  const int day = (text[8] - '0') * 10 + (text[9] - '0');
+  return month >= 1 && month <= 12 && day >= 1 && day <= 31;
+}
+
+void require_known_rule(const std::string& id, std::string_view where) {
+  require(find_rule(id) != nullptr,
+          "check config: " + std::string(where) + " names unknown rule '" +
+              id + "'");
+}
+
+}  // namespace
+
+CheckConfig check_config_from_json(const obs::Json& doc) {
+  require(doc.is_object(), "check config: document is not a JSON object");
+  for (const auto& [key, value] : doc.fields()) {
+    require(key == "schema" || key == "severity" || key == "waivers",
+            "check config: unknown top-level key '" + key + "'");
+  }
+  if (const obs::Json* schema = doc.find("schema")) {
+    require(schema->is_string() &&
+                schema->as_string() == "fpkit.check-config.v1",
+            "check config: schema must be \"fpkit.check-config.v1\"");
+  }
+
+  CheckConfig config;
+  if (const obs::Json* severity = doc.find("severity")) {
+    require(severity->is_object(),
+            "check config: \"severity\" must be an object");
+    for (const auto& [id, value] : severity->fields()) {
+      require_known_rule(id, "severity override");
+      require(value.is_string(),
+              "check config: severity for '" + id + "' must be a string");
+      const std::string& level = value.as_string();
+      if (level == "off") {
+        config.disabled.insert(id);
+      } else if (level == "warning") {
+        config.severity[id] = CheckSeverity::Warning;
+      } else if (level == "error") {
+        config.severity[id] = CheckSeverity::Error;
+      } else {
+        throw InvalidArgument("check config: severity for '" + id +
+                              "' must be \"warning\", \"error\" or "
+                              "\"off\", got \"" +
+                              level + "\"");
+      }
+    }
+  }
+
+  if (const obs::Json* waivers = doc.find("waivers")) {
+    require(waivers->is_array(),
+            "check config: \"waivers\" must be an array");
+    for (const obs::Json& entry : waivers->items()) {
+      require(entry.is_object(),
+              "check config: each waiver must be an object");
+      for (const auto& [key, value] : entry.fields()) {
+        require(key == "rule" || key == "match" ||
+                    key == "justification" || key == "expires",
+                "check config: unknown waiver key '" + key + "'");
+      }
+      CheckWaiver waiver;
+      const obs::Json* rule = entry.find("rule");
+      require(rule != nullptr && rule->is_string(),
+              "check config: waiver needs a string \"rule\"");
+      waiver.rule = rule->as_string();
+      require_known_rule(waiver.rule, "waiver");
+      const obs::Json* justification = entry.find("justification");
+      require(justification != nullptr && justification->is_string() &&
+                  !justification->as_string().empty(),
+              "check config: waiver for '" + waiver.rule +
+                  "' needs a non-empty \"justification\"");
+      waiver.justification = justification->as_string();
+      if (const obs::Json* match = entry.find("match")) {
+        require(match->is_string(),
+                "check config: waiver \"match\" must be a string");
+        waiver.match = match->as_string();
+      }
+      if (const obs::Json* expires = entry.find("expires")) {
+        require(expires->is_string() && is_iso_date(expires->as_string()),
+                "check config: waiver \"expires\" must be an ISO "
+                "YYYY-MM-DD date");
+        waiver.expires = expires->as_string();
+      }
+      config.waivers.push_back(std::move(waiver));
+    }
+  }
+  return config;
+}
+
+CheckConfig load_check_config(const std::string& path) {
+  try {
+    return check_config_from_json(obs::json_load(path));
+  } catch (Error& error) {
+    error.add_context("config=" + path);
+    throw;
+  }
+}
+
+CheckPolicyStats apply_check_policy(CheckReport& report,
+                                    const CheckConfig& config) {
+  CheckPolicyStats stats;
+  if (config.empty()) return stats;
+  const std::string today =
+      config.today.empty() ? utc_today() : config.today;
+
+  for (CheckFinding& finding : report.findings) {
+    const auto override_it = config.severity.find(finding.rule);
+    if (override_it != config.severity.end() &&
+        finding.severity != override_it->second) {
+      finding.severity = override_it->second;
+      ++stats.overridden;
+    }
+  }
+
+  // ISO dates compare lexicographically, so expiry is a string compare.
+  std::vector<bool> matched(config.waivers.size(), false);
+  for (std::size_t w = 0; w < config.waivers.size(); ++w) {
+    const CheckWaiver& waiver = config.waivers[w];
+    const bool expired =
+        !waiver.expires.empty() && waiver.expires < today;
+    for (CheckFinding& finding : report.findings) {
+      if (finding.waived || finding.rule != waiver.rule) continue;
+      if (!waiver.match.empty() &&
+          finding.message.find(waiver.match) == std::string::npos) {
+        continue;
+      }
+      matched[w] = true;
+      if (expired) continue;
+      finding.waived = true;
+      finding.justification = waiver.justification;
+      ++stats.waived;
+    }
+    if (expired && matched[w]) {
+      ++stats.expired;
+      report.policy_notes.push_back(
+          "waiver for " + waiver.rule + " expired " + waiver.expires +
+          " and no longer suppresses its findings");
+    } else if (!matched[w]) {
+      ++stats.unmatched;
+      report.policy_notes.push_back(
+          "waiver for " + waiver.rule +
+          (waiver.match.empty() ? std::string()
+                                : " (match \"" + waiver.match + "\")") +
+          " matched no finding; consider removing it");
+    }
+  }
+  return stats;
+}
+
+}  // namespace fp

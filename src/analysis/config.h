@@ -1,0 +1,95 @@
+// Check severity policy + waivers: the `.fpkit-check.json` config layer.
+//
+// A project checks a small canonical-JSON file into its repo root that
+// (1) re-grades rules (a Warning the team treats as blocking, an Error
+// they accept on a legacy package), (2) disables rules outright, and
+// (3) waives individual findings by stable rule id + message substring,
+// each waiver carrying a *required* justification string and an optional
+// expiry date. `fpkit check` loads it automatically; the waiver layer
+// marks matching findings waived (they no longer affect pass/fail) and
+// reports expired or unmatched waivers as policy notes so stale
+// suppressions surface instead of rotting.
+//
+// Schema ("fpkit.check-config.v1"):
+//   {
+//     "schema": "fpkit.check-config.v1",
+//     "severity": {"GEOM-004": "error", "NET-003": "off", ...},
+//     "waivers": [
+//       {"rule": "ROUTE-006", "match": "quadrant 2",
+//        "justification": "legacy corner, tracked as PKG-112",
+//        "expires": "2026-12-31"},
+//       ...
+//     ]
+//   }
+// Unknown top-level keys, unknown rule ids, empty justifications and
+// malformed dates are hard errors -- a config that silently half-applies
+// is worse than none.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/check.h"
+
+namespace fp {
+
+namespace obs {
+class Json;
+}  // namespace obs
+
+struct CheckWaiver {
+  std::string rule;           // registry id the waiver applies to
+  std::string match;          // message substring; empty matches any
+  std::string justification;  // required, non-empty
+  std::string expires;        // ISO "YYYY-MM-DD"; empty = never
+};
+
+struct CheckConfig {
+  /// Per-rule severity overrides (rules absent here keep their default).
+  std::map<std::string, CheckSeverity> severity;
+  /// Rules turned off entirely ("off" in the severity map); the engine
+  /// skips them and they never appear in reports.
+  std::set<std::string> disabled;
+  std::vector<CheckWaiver> waivers;
+  /// "Today" for waiver-expiry evaluation, ISO "YYYY-MM-DD"; defaults to
+  /// utc_today() when empty. Tests pin it for determinism.
+  std::string today;
+
+  [[nodiscard]] bool empty() const {
+    return severity.empty() && disabled.empty() && waivers.empty();
+  }
+  [[nodiscard]] bool rule_disabled(std::string_view id) const {
+    return disabled.count(std::string(id)) != 0;
+  }
+};
+
+/// Current UTC date as ISO "YYYY-MM-DD".
+[[nodiscard]] std::string utc_today();
+
+/// Parses and validates a config document; throws InvalidArgument on any
+/// schema violation (unknown keys, unknown rule ids, bad severity names,
+/// empty justification, malformed expiry dates).
+[[nodiscard]] CheckConfig check_config_from_json(const obs::Json& doc);
+
+/// json_load(path) + check_config_from_json; IoError when unreadable.
+[[nodiscard]] CheckConfig load_check_config(const std::string& path);
+
+struct CheckPolicyStats {
+  int overridden = 0;  // findings whose severity an override re-graded
+  int waived = 0;      // findings marked waived
+  int expired = 0;     // waivers past their expiry date (reported, inert)
+  int unmatched = 0;   // waivers that matched no finding this run
+};
+
+/// Applies `config` to `report` in place: re-grades finding severities,
+/// marks waived findings (recording each waiver's justification), and
+/// appends policy notes for expired and unmatched waivers. Idempotent on
+/// an already-policied report only if findings were raw; the engine
+/// always applies policy to a freshly merged raw report.
+CheckPolicyStats apply_check_policy(CheckReport& report,
+                                    const CheckConfig& config);
+
+}  // namespace fp

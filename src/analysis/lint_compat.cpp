@@ -1,7 +1,8 @@
 // Back-compat implementation of the deprecated package lint pass on top
 // of the rule registry: lint_package is now exactly the Package and
 // Stacking stages of `fpkit check`, re-badged into the old LintReport
-// shape (without rule ids).
+// shape. Findings keep their stable rule ids and waiver status so
+// callers migrating to the analyzer can match them one-to-one.
 #include <algorithm>
 
 #include "analysis/check.h"
@@ -13,7 +14,8 @@ std::size_t LintReport::errors() const {
   return static_cast<std::size_t>(
       std::count_if(findings.begin(), findings.end(),
                     [](const LintFinding& finding) {
-                      return finding.severity == LintSeverity::Error;
+                      return !finding.waived &&
+                             finding.severity == LintSeverity::Error;
                     }));
 }
 
@@ -21,7 +23,15 @@ std::string LintReport::to_string() const {
   if (findings.empty()) return "lint: clean\n";
   std::string out;
   for (const LintFinding& finding : findings) {
-    out += finding.severity == LintSeverity::Error ? "error: " : "warning: ";
+    out += finding.severity == LintSeverity::Error ? "error" : "warning";
+    if (!finding.rule.empty()) {
+      out += " [" + finding.rule;
+      if (finding.waived) out += ", waived";
+      out += "]";
+    } else if (finding.waived) {
+      out += " [waived]";
+    }
+    out += ": ";
     out += finding.message;
     out += '\n';
   }
@@ -32,11 +42,14 @@ namespace {
 
 void absorb(const CheckReport& checks, LintReport& lint) {
   for (const CheckFinding& finding : checks.findings) {
-    lint.findings.push_back(
-        LintFinding{finding.severity == CheckSeverity::Error
-                        ? LintSeverity::Error
-                        : LintSeverity::Warning,
-                    finding.message});
+    LintFinding converted;
+    converted.severity = finding.severity == CheckSeverity::Error
+                             ? LintSeverity::Error
+                             : LintSeverity::Warning;
+    converted.message = finding.message;
+    converted.rule = finding.rule;
+    converted.waived = finding.waived;
+    lint.findings.push_back(std::move(converted));
   }
 }
 

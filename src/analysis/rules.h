@@ -22,5 +22,6 @@ namespace fp::rules {
 [[nodiscard]] std::span<const CheckRule> route();
 [[nodiscard]] std::span<const CheckRule> power();
 [[nodiscard]] std::span<const CheckRule> stacking();
+[[nodiscard]] std::span<const CheckRule> determinism();
 
 }  // namespace fp::rules

@@ -103,13 +103,19 @@ void assign_monotone(const CheckContext& context, const CheckEmitter& emit) {
 }
 
 constexpr CheckRule kRules[] = {
-    {"ASSIGN-001", CheckStage::Assignment, CheckSeverity::Error,
+    {"ASSIGN-001", CheckStage::Assignment,
+     check_inputs::kGeometry | check_inputs::kAssignment,
+     CheckSeverity::Error,
      "assignment shape matches the package (quadrants, row bounds)",
      assign_shape},
-    {"ASSIGN-002", CheckStage::Assignment, CheckSeverity::Error,
+    {"ASSIGN-002", CheckStage::Assignment,
+     check_inputs::kNetlist | check_inputs::kAssignment,
+     CheckSeverity::Error,
      "each quadrant's finger row is a permutation of its bumped nets",
      assign_permutation},
-    {"ASSIGN-003", CheckStage::Assignment, CheckSeverity::Error,
+    {"ASSIGN-003", CheckStage::Assignment,
+     check_inputs::kGeometry | check_inputs::kAssignment,
+     CheckSeverity::Error,
      "the assignment admits a monotonic routing in every quadrant",
      assign_monotone},
 };

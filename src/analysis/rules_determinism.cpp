@@ -1,0 +1,108 @@
+// DET-*: determinism / reproducibility audit of a run configuration.
+//
+// fpkit's headline contract (docs/PARALLELISM.md) is that results are
+// bit-identical at any thread count; these rules flag configurations
+// where a *re-run elsewhere* could still diverge from the recorded one --
+// unpinned RNG seeds feeding randomized methods, machine-sized thread
+// pools, wall-clock budgets (machine-speed dependent degradation), armed
+// fault-injection sites, and behaviour-changing environment overrides.
+// They read only CheckContext::determinism, which is filled either from
+// the live process or from a recorded fpkit.run.v1 manifest
+// (`fpkit check --audit-run`), so the same family audits both a run
+// about to happen and one that already did.
+#include "analysis/rules.h"
+
+namespace fp::rules {
+
+namespace {
+
+const DeterminismInfo& det(const CheckContext& context) {
+  return *context.determinism;
+}
+
+void det_armed_faults(const CheckContext& context,
+                      const CheckEmitter& emit) {
+  for (const std::string& site : det(context).armed_faults) {
+    emit.emit("fault-injection site '" + site +
+              "' is armed: a sign-off run must not deliberately corrupt "
+              "its own pipeline");
+  }
+}
+
+void det_budget(const CheckContext& context, const CheckEmitter& emit) {
+  if (!det(context).budget_enabled) return;
+  emit.emit("a wall-clock budget is armed: on a slower machine the flow "
+            "may degrade (skip exchange iterations or fall back) and "
+            "report different results for the same inputs");
+}
+
+void det_threads(const CheckContext& context, const CheckEmitter& emit) {
+  if (!det(context).threads_from_machine) return;
+  emit.emit("thread count is sized from the machine (threads=0); results "
+            "stay bit-identical but the recorded configuration (" +
+            std::to_string(det(context).threads) +
+            " threads here) is not portable -- pin --threads explicitly "
+            "for a reproducible record");
+}
+
+void det_env(const CheckContext& context, const CheckEmitter& emit) {
+  for (const std::string& name : det(context).env_overrides) {
+    emit.emit("behaviour-changing environment override " + name +
+              " is set: the command line alone cannot reproduce this "
+              "run");
+  }
+}
+
+void det_seed(const CheckContext& context, const CheckEmitter& emit) {
+  const DeterminismInfo& info = det(context);
+  if (!info.randomized_method || info.seed_explicit) return;
+  emit.emit("a randomized method consumes the RNG but the seed was not "
+            "pinned explicitly (inherited default " +
+            std::to_string(info.seed) +
+            "): pass --seed so the choice is recorded intent, not an "
+            "accident of the default");
+}
+
+void det_degraded(const CheckContext& context, const CheckEmitter& emit) {
+  const DeterminismInfo& info = det(context);
+  if (!info.audited) return;
+  if (info.audited_degraded) {
+    emit.emit("the audited run manifest records degrade events: its "
+              "results are best-effort, not sign-off quality");
+  } else if (info.audited_exit_code == 3) {
+    emit.emit("the audited run manifest records exit code 3 (degraded): "
+              "its results are best-effort, not sign-off quality");
+  }
+}
+
+constexpr CheckRule kRules[] = {
+    {"DET-001", CheckStage::Determinism, check_inputs::kRunConfig,
+     CheckSeverity::Error,
+     "no fault-injection site is armed in a sign-off run",
+     det_armed_faults},
+    {"DET-002", CheckStage::Determinism, check_inputs::kRunConfig,
+     CheckSeverity::Warning,
+     "no wall-clock budget can degrade results machine-dependently",
+     det_budget},
+    {"DET-003", CheckStage::Determinism, check_inputs::kRunConfig,
+     CheckSeverity::Warning,
+     "the thread count is pinned rather than sized from the machine",
+     det_threads},
+    {"DET-004", CheckStage::Determinism, check_inputs::kRunConfig,
+     CheckSeverity::Warning,
+     "no behaviour-changing FPKIT_* environment override is active",
+     det_env},
+    {"DET-005", CheckStage::Determinism, check_inputs::kRunConfig,
+     CheckSeverity::Warning,
+     "randomized methods run with an explicitly pinned RNG seed",
+     det_seed},
+    {"DET-006", CheckStage::Determinism, check_inputs::kRunConfig,
+     CheckSeverity::Warning,
+     "an audited run manifest records no degradation", det_degraded},
+};
+
+}  // namespace
+
+std::span<const CheckRule> determinism() { return kRules; }
+
+}  // namespace fp::rules

@@ -79,20 +79,27 @@ void geom_gap_capacity(const CheckContext& context, const CheckEmitter& emit) {
 }
 
 constexpr CheckRule kRules[] = {
-    {"GEOM-001", CheckStage::Package, CheckSeverity::Error,
+    {"GEOM-001", CheckStage::Package, check_inputs::kGeometry,
+     CheckSeverity::Error,
      "every package geometry dimension is positive", geom_dimensions},
-    {"GEOM-002", CheckStage::Package, CheckSeverity::Error,
+    {"GEOM-002", CheckStage::Package, check_inputs::kGeometry,
+     CheckSeverity::Error,
      "via diameter leaves a routing gap inside the bump pitch",
      geom_via_pitch},
-    {"GEOM-003", CheckStage::Package, CheckSeverity::Warning,
+    {"GEOM-003", CheckStage::Package, check_inputs::kGeometry,
+     CheckSeverity::Warning,
      "bump ball diameter fits inside the bump pitch", geom_ball_pitch},
-    {"GEOM-004", CheckStage::Package, CheckSeverity::Warning,
+    {"GEOM-004", CheckStage::Package, check_inputs::kGeometry,
+     CheckSeverity::Warning,
      "finger pitch does not exceed bump pitch", geom_finger_pitch},
-    {"GEOM-005", CheckStage::Package, CheckSeverity::Warning,
+    {"GEOM-005", CheckStage::Package, check_inputs::kGeometry,
+     CheckSeverity::Warning,
      "quadrant bump rows shrink toward the die", geom_row_shrink},
-    {"GEOM-006", CheckStage::Package, CheckSeverity::Warning,
+    {"GEOM-006", CheckStage::Package, check_inputs::kGeometry,
+     CheckSeverity::Warning,
      "bump rows of one quadrant share a parity", geom_row_parity},
-    {"GEOM-007", CheckStage::Package, CheckSeverity::Error,
+    {"GEOM-007", CheckStage::Package,
+     check_inputs::kGeometry | check_inputs::kDrc, CheckSeverity::Error,
      "every via-slot gap fits at least one wire at the DRC wire pitch",
      geom_gap_capacity},
 };

@@ -78,16 +78,20 @@ void net_empty_tier(const CheckContext& context, const CheckEmitter& emit) {
 }
 
 constexpr CheckRule kRules[] = {
-    {"NET-001", CheckStage::Package, CheckSeverity::Error,
-     "net names are unique", net_duplicate_names},
-    {"NET-002", CheckStage::Package, CheckSeverity::Warning,
+    {"NET-001", CheckStage::Package, check_inputs::kNetlist,
+     CheckSeverity::Error, "net names are unique", net_duplicate_names},
+    {"NET-002", CheckStage::Package, check_inputs::kNetlist,
+     CheckSeverity::Warning,
      "the netlist carries at least one supply net", net_no_supply},
-    {"NET-003", CheckStage::Package, CheckSeverity::Warning,
+    {"NET-003", CheckStage::Package, check_inputs::kNetlist,
+     CheckSeverity::Warning,
      "the supply-net fraction lies in a plausible band",
      net_supply_fraction},
-    {"NET-004", CheckStage::Package, CheckSeverity::Warning,
+    {"NET-004", CheckStage::Package, check_inputs::kNetlist,
+     CheckSeverity::Warning,
      "every quadrant carries a supply net", net_quadrant_supply},
-    {"NET-005", CheckStage::Package, CheckSeverity::Error,
+    {"NET-005", CheckStage::Package, check_inputs::kNetlist,
+     CheckSeverity::Error,
      "every die tier owns at least one net", net_empty_tier},
 };
 

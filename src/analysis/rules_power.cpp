@@ -83,16 +83,22 @@ void power_pad_collapse(const CheckContext& context,
 }
 
 constexpr CheckRule kRules[] = {
-    {"POWER-001", CheckStage::Power, CheckSeverity::Error,
+    {"POWER-001", CheckStage::Power,
+     check_inputs::kAssignment | check_inputs::kPowerMesh,
+     CheckSeverity::Error,
      "the power mesh has at least one Dirichlet pad node",
      power_pads_present},
-    {"POWER-002", CheckStage::Power, CheckSeverity::Error,
+    {"POWER-002", CheckStage::Power, check_inputs::kPowerMesh,
+     CheckSeverity::Error,
      "the grid spec keeps the stamp symmetric positive definite",
      power_spec_posedness},
-    {"POWER-003", CheckStage::Power, CheckSeverity::Error,
+    {"POWER-003", CheckStage::Power, check_inputs::kPowerMesh,
+     CheckSeverity::Error,
      "solver options are within their convergent ranges",
      power_solver_options},
-    {"POWER-004", CheckStage::Power, CheckSeverity::Warning,
+    {"POWER-004", CheckStage::Power,
+     check_inputs::kAssignment | check_inputs::kPowerMesh,
+     CheckSeverity::Warning,
      "the mesh is fine enough to resolve distinct supply pads",
      power_pad_collapse},
 };

@@ -188,22 +188,31 @@ void route_cut_line(const CheckContext& context, const CheckEmitter& emit) {
 }
 
 constexpr CheckRule kRules[] = {
-    {"ROUTE-001", CheckStage::Route, CheckSeverity::Error,
+    {"ROUTE-001", CheckStage::Route,
+     check_inputs::kAssignment | check_inputs::kRoutes | check_inputs::kDrc,
+     CheckSeverity::Error,
      "no via-slot gap's crossing load exceeds its wire capacity",
      route_gap_overflow},
-    {"ROUTE-002", CheckStage::Route, CheckSeverity::Warning,
+    {"ROUTE-002", CheckStage::Route,
+     check_inputs::kGeometry | check_inputs::kDrc, CheckSeverity::Warning,
      "finger spacing respects the layer-1 wire spacing",
      route_finger_spacing},
-    {"ROUTE-003", CheckStage::Route, CheckSeverity::Error,
+    {"ROUTE-003", CheckStage::Route, check_inputs::kRoutes,
+     CheckSeverity::Error,
      "no two routed nets overlap on a shared segment",
      route_segment_overlap},
-    {"ROUTE-004", CheckStage::Route, CheckSeverity::Error,
+    {"ROUTE-004", CheckStage::Route,
+     check_inputs::kAssignment | check_inputs::kRoutes | check_inputs::kDrc,
+     CheckSeverity::Error,
      "density-map crossings agree with the global router's recount (and "
      "any materialised route)",
      route_crossing_recount},
-    {"ROUTE-005", CheckStage::Route, CheckSeverity::Error,
+    {"ROUTE-005", CheckStage::Route,
+     check_inputs::kAssignment | check_inputs::kRoutes,
+     CheckSeverity::Error,
      "an explicit via plan is legal for every quadrant", route_via_plan},
-    {"ROUTE-006", CheckStage::Route, CheckSeverity::Warning,
+    {"ROUTE-006", CheckStage::Route,
+     check_inputs::kAssignment | check_inputs::kDrc, CheckSeverity::Warning,
      "combined cut-line congestion stays within one quadrant's gap "
      "capacity",
      route_cut_line},

@@ -48,11 +48,16 @@ void stack_tier_count(const CheckContext& context, const CheckEmitter& emit) {
 }
 
 constexpr CheckRule kRules[] = {
-    {"STACK-001", CheckStage::Stacking, CheckSeverity::Warning,
+    {"STACK-001", CheckStage::Stacking,
+     check_inputs::kNetlist | check_inputs::kStacking,
+     CheckSeverity::Warning,
      "tier populations are balanced within 2x", stack_tier_balance},
-    {"STACK-002", CheckStage::Stacking, CheckSeverity::Error,
+    {"STACK-002", CheckStage::Stacking, check_inputs::kStacking,
+     CheckSeverity::Error,
      "the stacking spec dimensions are non-negative", stack_spec},
-    {"STACK-003", CheckStage::Stacking, CheckSeverity::Warning,
+    {"STACK-003", CheckStage::Stacking,
+     check_inputs::kNetlist | check_inputs::kStacking,
+     CheckSeverity::Warning,
      "the tier count does not exceed the finger count", stack_tier_count},
 };
 

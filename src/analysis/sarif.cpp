@@ -1,0 +1,110 @@
+#include "analysis/sarif.h"
+
+#include <map>
+
+#include "obs/artifact.h"
+
+namespace fp {
+
+namespace {
+
+obs::Json text_block(std::string_view text) {
+  obs::Json block = obs::Json::object();
+  block.set("text", obs::Json::string(std::string(text)));
+  return block;
+}
+
+obs::Json location(std::string_view uri) {
+  obs::Json artifact = obs::Json::object();
+  artifact.set("uri", obs::Json::string(std::string(uri)));
+  obs::Json region = obs::Json::object();
+  region.set("startLine", obs::Json::number(1LL));
+  obs::Json physical = obs::Json::object();
+  physical.set("artifactLocation", std::move(artifact));
+  physical.set("region", std::move(region));
+  obs::Json loc = obs::Json::object();
+  loc.set("physicalLocation", std::move(physical));
+  return loc;
+}
+
+std::string_view sarif_level(CheckSeverity severity) {
+  return severity == CheckSeverity::Error ? "error" : "warning";
+}
+
+}  // namespace
+
+obs::Json check_report_to_sarif(const CheckReport& report,
+                                std::string_view artifact_uri) {
+  obs::Json rules = obs::Json::array();
+  std::map<std::string, long long, std::less<>> rule_index;
+  for (const CheckRule& rule : check_rules()) {
+    rule_index[std::string(rule.id())] =
+        static_cast<long long>(rule_index.size());
+    obs::Json descriptor = obs::Json::object();
+    descriptor.set("id", obs::Json::string(std::string(rule.id())));
+    descriptor.set("shortDescription", text_block(rule.summary()));
+    obs::Json configuration = obs::Json::object();
+    configuration.set(
+        "level",
+        obs::Json::string(std::string(sarif_level(rule.severity()))));
+    descriptor.set("defaultConfiguration", std::move(configuration));
+    rules.push(std::move(descriptor));
+  }
+
+  obs::Json results = obs::Json::array();
+  for (const CheckFinding& finding : report.findings) {
+    obs::Json result = obs::Json::object();
+    result.set("ruleId", obs::Json::string(finding.rule));
+    const auto index_it = rule_index.find(finding.rule);
+    if (index_it != rule_index.end()) {
+      result.set("ruleIndex", obs::Json::number(index_it->second));
+    }
+    result.set("level", obs::Json::string(
+                            std::string(sarif_level(finding.severity))));
+    result.set("message", text_block(finding.message));
+    obs::Json locations = obs::Json::array();
+    locations.push(location(artifact_uri));
+    result.set("locations", std::move(locations));
+    if (finding.waived) {
+      obs::Json suppression = obs::Json::object();
+      suppression.set("kind", obs::Json::string("external"));
+      if (!finding.justification.empty()) {
+        suppression.set("justification",
+                        obs::Json::string(finding.justification));
+      }
+      obs::Json suppressions = obs::Json::array();
+      suppressions.push(std::move(suppression));
+      result.set("suppressions", std::move(suppressions));
+    }
+    results.push(std::move(result));
+  }
+
+  obs::Json driver = obs::Json::object();
+  driver.set("name", obs::Json::string("fpkit-check"));
+  driver.set("version",
+             obs::Json::string(std::string(obs::kToolVersion)));
+  driver.set("informationUri",
+             obs::Json::string("https://example.invalid/fpkit"));
+  driver.set("rules", std::move(rules));
+  obs::Json tool = obs::Json::object();
+  tool.set("driver", std::move(driver));
+
+  obs::Json run = obs::Json::object();
+  run.set("tool", std::move(tool));
+  run.set("results", std::move(results));
+  run.set("columnKind", obs::Json::string("utf16CodeUnits"));
+
+  obs::Json runs = obs::Json::array();
+  runs.push(std::move(run));
+
+  obs::Json doc = obs::Json::object();
+  doc.set("$schema",
+          obs::Json::string("https://raw.githubusercontent.com/oasis-tcs/"
+                            "sarif-spec/master/Schemata/sarif-schema-2.1.0."
+                            "json"));
+  doc.set("version", obs::Json::string("2.1.0"));
+  doc.set("runs", std::move(runs));
+  return doc;
+}
+
+}  // namespace fp

@@ -1,0 +1,33 @@
+// SARIF 2.1.0 emission for `fpkit check --format sarif`.
+//
+// SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+// what GitHub code scanning ingests, so CI can annotate check findings
+// inline on pull requests. One run object carries the full rule registry
+// as tool.driver.rules (stable ruleId + ruleIndex, default severity as
+// defaultConfiguration.level) and one result per finding; waived
+// findings become suppressed results (suppressions[].kind "external",
+// the waiver's justification carried verbatim), matching how code
+// scanning hides suppressed alerts without losing them.
+//
+// The document is built as a canonical obs::Json value, so dumping,
+// re-parsing and dumping again is byte-identical -- the same round-trip
+// contract as every other fpkit artifact.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/check.h"
+#include "obs/json.h"
+
+namespace fp {
+
+/// The report as a SARIF 2.1.0 document. `artifact_uri` names the input
+/// the findings are about (the circuit/package file, or a pseudo-URI
+/// like "fpkit://generated" for generated circuits); SARIF requires a
+/// location per result and fpkit findings are design-scoped, so every
+/// result points at line 1 of that artifact.
+[[nodiscard]] obs::Json check_report_to_sarif(const CheckReport& report,
+                                              std::string_view artifact_uri);
+
+}  // namespace fp

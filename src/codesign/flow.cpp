@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "analysis/check.h"
+#include "analysis/engine.h"
 #include "exec/exec.h"
 #include "assign/dfa.h"
 #include "assign/ifa.h"
@@ -103,18 +104,26 @@ FlowResult CodesignFlow::run(const Package& package) const {
   // Debug-build stage gates: validate the package before planning and the
   // assignment after each step, so a corrupt artifact aborts loudly at
   // the stage that produced it instead of skewing downstream metrics.
+  // One incremental CheckEngine serves all three gates: the entry gate
+  // scans cold, the post-assign/post-exchange gates dirty only the
+  // assignment-derived inputs, so the package-shaped half of the registry
+  // is checked once per run instead of once per gate.
   CheckContext check_context;
   check_context.package = &package;
   check_context.strategy = options_.routing;
   check_context.grid_spec = options_.grid_spec;
   check_context.solver = options_.solver;
   check_context.stacking = options_.stacking;
+  CheckEngineOptions engine_options;
+  engine_options.stage_mask = check_stage_bit(CheckStage::Package) |
+                              check_stage_bit(CheckStage::Stacking) |
+                              check_stage_bit(CheckStage::Assignment);
+  CheckEngine check_engine(engine_options);
   {
     const Timer stage;
     const obs::ScopedSpan span("flow.check", "flow");
     if (options_.self_check) {
-      check_or_throw(check_context, CheckStage::Package);
-      check_or_throw(check_context, CheckStage::Stacking);
+      check_engine.run_or_throw(check_context, "flow entry");
     }
     record_stage("check", stage);
   }
@@ -136,7 +145,8 @@ FlowResult CodesignFlow::run(const Package& package) const {
     }
     if (options_.self_check) {
       check_context.assignment = &result.initial;
-      check_or_throw(check_context, CheckStage::Assignment);
+      check_engine.note_swap();
+      check_engine.run_or_throw(check_context, "after assign");
     }
     record_stage("assign", stage);
   }
@@ -217,7 +227,8 @@ FlowResult CodesignFlow::run(const Package& package) const {
     }
     if (options_.self_check) {
       check_context.assignment = &result.final;
-      check_or_throw(check_context, CheckStage::Assignment);
+      check_engine.note_swap();
+      check_engine.run_or_throw(check_context, "after exchange");
     }
     record_stage("exchange", stage);
   }

@@ -463,4 +463,86 @@ CompareReport compare_artifacts(const std::string& dir_a,
   return std::move(comparer.report);
 }
 
+bool is_batch_artifact(const std::string& dir) {
+  return fs::exists(fs::path(dir) / "manifest.json") &&
+         fs::exists(fs::path(dir) / "jobs" / "job0" / "manifest.json");
+}
+
+namespace {
+
+std::string job_label(const std::string& job_dir) {
+  const LoadedArtifact artifact = load_run_artifact(job_dir);
+  const Json* label = artifact.manifest.extra.find("label");
+  return label != nullptr && label->is_string() ? label->as_string()
+                                                : std::string();
+}
+
+}  // namespace
+
+int BatchCompareReport::regressions() const {
+  int count = top.regressions();
+  for (const BatchJobCompare& job : jobs) {
+    if (job.only_a || job.only_b) {
+      ++count;
+    } else {
+      count += job.report.regressions();
+    }
+  }
+  return count;
+}
+
+std::string BatchCompareReport::to_string() const {
+  std::string out = "batch summary:\n" + top.to_string();
+  for (const BatchJobCompare& job : jobs) {
+    out += job.job;
+    if (!job.label.empty()) out += " (" + job.label + ")";
+    if (job.only_a) {
+      out += ": only in A (REGRESSION)\n";
+      continue;
+    }
+    if (job.only_b) {
+      out += ": only in B (REGRESSION)\n";
+      continue;
+    }
+    out += ":\n" + job.report.to_string();
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "batch: %zu job slot(s), %d regression(s) overall\n",
+                jobs.size(), regressions());
+  out += buf;
+  return out;
+}
+
+BatchCompareReport compare_batch_artifacts(const std::string& dir_a,
+                                           const std::string& dir_b,
+                                           const CompareOptions& options) {
+  BatchCompareReport report;
+  report.top = compare_artifacts(dir_a, dir_b, options);
+  for (int i = 0;; ++i) {
+    const std::string sub = "jobs/job" + std::to_string(i);
+    const std::string job_a = dir_a + "/" + sub;
+    const std::string job_b = dir_b + "/" + sub;
+    const bool has_a = fs::exists(fs::path(job_a) / "manifest.json");
+    const bool has_b = fs::exists(fs::path(job_b) / "manifest.json");
+    if (!has_a && !has_b) break;
+    BatchJobCompare job;
+    job.job = "job" + std::to_string(i);
+    if (has_a && has_b) {
+      job.label = job_label(job_a);
+      const std::string label_b = job_label(job_b);
+      if (!label_b.empty() && label_b != job.label) {
+        job.label += " vs " + label_b;
+      }
+      job.report = compare_artifacts(job_a, job_b, options);
+    } else {
+      job.only_a = has_a;
+      job.only_b = has_b;
+      job.label = job_label(has_a ? job_a : job_b);
+    }
+    report.jobs.push_back(std::move(job));
+  }
+  return report;
+}
+
 }  // namespace fp::obs

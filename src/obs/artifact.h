@@ -158,4 +158,41 @@ struct CompareReport {
                                               const std::string& dir_b,
                                               const CompareOptions& options);
 
+/// True when `dir` looks like a `fpkit batch --artifact-dir` artifact:
+/// a top-level manifest plus per-job manifests under jobs/job<i>/.
+[[nodiscard]] bool is_batch_artifact(const std::string& dir);
+
+/// One job of a batch-vs-batch diff. `label` comes from the job
+/// manifest's extra.label ("dfa/seed=3"); a job present on only one side
+/// is reported without a per-job diff.
+struct BatchJobCompare {
+  std::string job;    // "job0" .. "jobN" (directory name)
+  std::string label;
+  bool only_a = false;
+  bool only_b = false;
+  CompareReport report;
+};
+
+struct BatchCompareReport {
+  /// The batch-level artifacts diffed (summary results + process-wide
+  /// metrics).
+  CompareReport top;
+  std::vector<BatchJobCompare> jobs;
+
+  /// Gated regressions across the top-level diff and every job; a job
+  /// missing on either side also counts as one regression (a changed
+  /// sweep shape is never an equal run).
+  [[nodiscard]] int regressions() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Job-by-job diff of two batch artifacts: jobs/job<i> of A against
+/// jobs/job<i> of B (index order -- batch job order is deterministic and
+/// thread-count independent), each through compare_artifacts with the
+/// same gates, plus the top-level artifact diff. Throws on unreadable
+/// artifacts; never throws on mere differences.
+[[nodiscard]] BatchCompareReport compare_batch_artifacts(
+    const std::string& dir_a, const std::string& dir_b,
+    const CompareOptions& options);
+
 }  // namespace fp::obs

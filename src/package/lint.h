@@ -1,10 +1,10 @@
 // DEPRECATED package lint shim. The lint rules were absorbed into the
 // pipeline-wide static analyzer (analysis/check.h, `fpkit check`), which
-// adds stable rule ids, assignment/route/power/stacking stages, and JSON
-// output. lint_package now simply runs the analyzer's Package and
-// Stacking stages and re-badges the findings; new code should call
-// run_checks directly. Kept for `fpkit info --lint` and existing users;
-// see docs/CHECKS.md.
+// adds stable rule ids, assignment/route/power/stacking stages, waivers
+// and JSON/SARIF output. lint_package now simply runs the analyzer's
+// Package and Stacking stages and re-badges the findings; new code
+// should call run_checks directly. Kept for `fpkit info --lint` and
+// existing users; see docs/CHECKS.md.
 #pragma once
 
 #include <string>
@@ -19,12 +19,19 @@ enum class LintSeverity { Warning, Error };
 struct LintFinding {
   LintSeverity severity = LintSeverity::Warning;
   std::string message;
+  /// Stable registry id of the analyzer rule that produced the finding
+  /// ("GEOM-002", ...); empty only for findings predating the analyzer.
+  std::string rule;
+  /// True when a `.fpkit-check.json` waiver suppressed the finding from
+  /// the pass/fail verdict (errors() skips waived findings).
+  bool waived = false;
 };
 
 struct LintReport {
   std::vector<LintFinding> findings;
 
   [[nodiscard]] bool clean() const { return findings.empty(); }
+  /// Un-waived errors only, matching CheckReport::error_count().
   [[nodiscard]] std::size_t errors() const;
   [[nodiscard]] std::string to_string() const;
 };

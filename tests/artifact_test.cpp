@@ -218,6 +218,90 @@ TEST(ArtifactCompare, MissingArtifactThrows) {
   std::filesystem::remove_all(good);
 }
 
+// --- batch-vs-batch compare --------------------------------------------
+
+std::string write_batch_artifact(const std::string& name,
+                                 const std::vector<double>& job_costs,
+                                 const std::vector<std::string>& labels) {
+  const std::string dir = ::testing::TempDir() + name;
+  obs::RunManifest top;
+  top.subcommand = "batch";
+  top.version = std::string(obs::kToolVersion);
+  top.results = {{"jobs", static_cast<double>(job_costs.size())}};
+  obs::write_run_artifact(dir, top, /*include_metrics=*/false,
+                          /*include_trace=*/false);
+  for (std::size_t i = 0; i < job_costs.size(); ++i) {
+    obs::RunManifest job;
+    job.subcommand = "run";
+    job.version = std::string(obs::kToolVersion);
+    job.results = {{"sa_final_cost", job_costs[i]}};
+    if (i < labels.size() && !labels[i].empty()) {
+      job.extra = obs::Json::object();
+      job.extra.set("label", obs::Json::string(labels[i]));
+    }
+    obs::write_run_artifact(dir + "/jobs/job" + std::to_string(i), job,
+                            /*include_metrics=*/false,
+                            /*include_trace=*/false);
+  }
+  return dir;
+}
+
+TEST(BatchCompare, DetectsBatchArtifacts) {
+  const std::string batch = write_batch_artifact("bat_detect", {1.0}, {});
+  const std::string run = write_compare_artifact("bat_run", 0.1, 0.001, 5.0);
+  EXPECT_TRUE(obs::is_batch_artifact(batch));
+  EXPECT_FALSE(obs::is_batch_artifact(run));
+  EXPECT_FALSE(obs::is_batch_artifact(::testing::TempDir() + "bat_nope"));
+  std::filesystem::remove_all(batch);
+  std::filesystem::remove_all(run);
+}
+
+TEST(BatchCompare, DiffsJobByJobWithLabels) {
+  const std::string a = write_batch_artifact(
+      "bat_a", {5.0, 7.0}, {"dfa/seed=1", "dfa/seed=2"});
+  const std::string b = write_batch_artifact(
+      "bat_b", {5.0, 7.5}, {"dfa/seed=1", "dfa/seed=2"});
+  obs::CompareOptions gates;
+  gates.require_equal_cost = true;
+  const obs::BatchCompareReport report =
+      obs::compare_batch_artifacts(a, b, gates);
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_EQ(report.jobs[0].job, "job0");
+  EXPECT_EQ(report.jobs[0].label, "dfa/seed=1");
+  EXPECT_EQ(report.jobs[0].report.regressions(), 0);
+  EXPECT_GT(report.jobs[1].report.regressions(), 0);
+  EXPECT_EQ(report.regressions(), 1);
+  EXPECT_NE(report.to_string().find("dfa/seed=2"), std::string::npos);
+  std::filesystem::remove_all(a);
+  std::filesystem::remove_all(b);
+}
+
+TEST(BatchCompare, IdenticalBatchesAreCleanUnderEveryGate) {
+  const std::string a = write_batch_artifact("bat_eq_a", {5.0, 7.0}, {});
+  const std::string b = write_batch_artifact("bat_eq_b", {5.0, 7.0}, {});
+  obs::CompareOptions gates;
+  gates.require_equal_cost = true;
+  gates.max_slowdown = 1.5;
+  const obs::BatchCompareReport report =
+      obs::compare_batch_artifacts(a, b, gates);
+  EXPECT_EQ(report.regressions(), 0);
+  std::filesystem::remove_all(a);
+  std::filesystem::remove_all(b);
+}
+
+TEST(BatchCompare, MissingJobCountsAsRegression) {
+  const std::string a = write_batch_artifact("bat_mis_a", {5.0, 7.0}, {});
+  const std::string b = write_batch_artifact("bat_mis_b", {5.0}, {});
+  const obs::BatchCompareReport report =
+      obs::compare_batch_artifacts(a, b, {});
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_TRUE(report.jobs[1].only_a);
+  EXPECT_GE(report.regressions(), 1);
+  EXPECT_NE(report.to_string().find("only in"), std::string::npos);
+  std::filesystem::remove_all(a);
+  std::filesystem::remove_all(b);
+}
+
 // --- batch jobs files --------------------------------------------------
 
 std::string write_jobs_file(const std::string& name,

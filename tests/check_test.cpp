@@ -9,6 +9,7 @@
 
 #include "analysis/check.h"
 #include "assign/dfa.h"
+#include "obs/json.h"
 #include "assign/random_assigner.h"
 #include "codesign/flow.h"
 #include "package/circuit_generator.h"
@@ -90,10 +91,15 @@ TEST(CheckReportTest, JsonAndTextCarryTheFindings) {
   EXPECT_GT(report.error_count(), 0u);
   EXPECT_FALSE(report.passed());
   EXPECT_NE(report.to_string().find("GEOM-002"), std::string::npos);
-  EXPECT_NE(report.to_json().find("\"rule\": \"GEOM-002\""),
+  EXPECT_NE(report.to_json().find("\"rule\":\"GEOM-002\""),
             std::string::npos);
-  EXPECT_NE(report.to_json().find("\"severity\": \"error\""),
+  EXPECT_NE(report.to_json().find("\"severity\":\"error\""),
             std::string::npos);
+  EXPECT_NE(report.to_json().find("\"schema\":\"fpkit.check.v1\""),
+            std::string::npos);
+  // The canonical-writer round trip: parse + dump is byte-identical.
+  const std::string dumped = report.to_json();
+  EXPECT_EQ(obs::json_parse(dumped).dump() + "\n", dumped);
 }
 
 TEST(CheckReportTest, CheckOrThrowListsTheRules) {

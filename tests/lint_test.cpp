@@ -48,6 +48,10 @@ TEST(Lint, FlagsOversizedVia) {
   const LintReport report = lint_package(package);
   EXPECT_GT(report.errors(), 0u);
   EXPECT_NE(report.to_string().find("via diameter"), std::string::npos);
+  // The shim carries the originating check-rule id through to the text.
+  EXPECT_NE(report.to_string().find("[GEOM-002]"), std::string::npos);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_FALSE(report.findings.front().rule.empty());
 }
 
 TEST(Lint, FlagsGrowingRows) {

@@ -8,7 +8,10 @@
 //   fpkit route    <circuit.fp> [--method ...] [--svg-prefix out]
 //   fpkit ir       <circuit.fp> [--method ...] [--mesh K] [--heatmap f.svg]
 //   fpkit check    <circuit.fp> [--assignment a.fpa] [--method ...]
-//                  [--json] [--out report.json] [--strict] [--list-rules]
+//                  [--format text|json|sarif] [--out report.json]
+//                  [--strict] [--waived] [--config cfg.json|--no-config]
+//                  [--baseline <artifact-dir>] [--audit-run <artifact-dir>]
+//                  [--list-rules]
 //   fpkit batch    <circuit.fp> [--methods dfa,ifa,random] [--seeds 1,2,3]
 //                  [--jobs N] [--jobs-file jobs.txt] [...any run flag]
 //   fpkit compare  <runA> <runB> [--max-slowdown X] [--require-equal-cost]
@@ -51,6 +54,9 @@
 #include <string>
 
 #include "analysis/check.h"
+#include "analysis/config.h"
+#include "analysis/engine.h"
+#include "analysis/sarif.h"
 #include "assign/dfa.h"
 #include "assign/ifa.h"
 #include "assign/random_assigner.h"
@@ -99,8 +105,11 @@ int usage() {
                "[--out deck.sp]\n"
                "  check    <circuit.fp> [--assignment a.fpa] [--method ...]"
                " [--mesh K]\n"
-               "           [--json] [--out report.json] [--strict]"
-               " [--list-rules]\n"
+               "           [--format text|json|sarif] [--out report.json]"
+               " [--strict] [--waived]\n"
+               "           [--config cfg.json|--no-config]"
+               " [--baseline <artifact-dir>]\n"
+               "           [--audit-run <artifact-dir>] [--list-rules]\n"
                "  batch    <circuit.fp> [--methods dfa,ifa,random]"
                " [--seeds 1,2,3]\n"
                "           [--jobs N] [--jobs-file jobs.txt] [--mesh K]"
@@ -332,15 +341,128 @@ int cmd_ir(const ArgParser& args) {
   return flow_exit(result);
 }
 
+/// Renders a rule's declared input set ("geometry+drc") for --list-rules.
+std::string inputs_text(CheckInputSet inputs) {
+  static constexpr std::pair<CheckInputSet, const char*> kNames[] = {
+      {check_inputs::kGeometry, "geometry"},
+      {check_inputs::kNetlist, "netlist"},
+      {check_inputs::kAssignment, "assignment"},
+      {check_inputs::kRoutes, "routes"},
+      {check_inputs::kPowerMesh, "power-mesh"},
+      {check_inputs::kStacking, "stacking"},
+      {check_inputs::kDrc, "drc"},
+      {check_inputs::kRunConfig, "run-config"},
+  };
+  std::string out;
+  for (const auto& [bit, name] : kNames) {
+    if ((inputs & bit) == 0) continue;
+    if (!out.empty()) out += '+';
+    out += name;
+  }
+  return out;
+}
+
+/// The environment overrides that change behaviour (as opposed to the
+/// observability-only FPKIT_TRACE/FPKIT_ARTIFACT_DIR/FPKIT_LOG_LEVEL),
+/// flagged by DET-004.
+constexpr const char* kBehaviourEnv[] = {"FPKIT_THREADS", "FPKIT_FAULTS"};
+
+/// DeterminismInfo for the live process: the configuration `fpkit check`
+/// itself was invoked with.
+DeterminismInfo live_determinism(const ArgParser& args,
+                                 const FlowOptions& options) {
+  DeterminismInfo det;
+  det.seed = options.random_seed;
+  det.seed_explicit = args.has("seed");
+  det.randomized_method = options.method == AssignmentMethod::Random;
+  det.threads = exec::default_threads();
+  det.threads_from_machine =
+      args.has("threads") && args.get_int("threads", 0) == 0;
+  if (const char* env = std::getenv("FPKIT_THREADS")) {
+    if (!args.has("threads") && std::string(env) == "0") {
+      det.threads_from_machine = true;
+    }
+  }
+  det.budget_enabled = options.budget.enabled();
+  for (const fault::SiteStatus& site : fault::status()) {
+    det.armed_faults.push_back(site.site);
+  }
+  for (const char* name : kBehaviourEnv) {
+    if (std::getenv(name) != nullptr) det.env_overrides.emplace_back(name);
+  }
+  return det;
+}
+
+/// DeterminismInfo reconstructed from a recorded fpkit.run.v1 manifest
+/// (`fpkit check --audit-run <dir>`): audits the run that already
+/// happened instead of this process.
+DeterminismInfo audit_determinism(const std::string& dir) {
+  const obs::LoadedArtifact artifact = obs::load_run_artifact(dir);
+  const obs::RunManifest& manifest = artifact.manifest;
+  DeterminismInfo det;
+  det.audited = true;
+  det.audited_degraded = !manifest.events.empty();
+  det.audited_exit_code = manifest.exit_code;
+  det.threads = manifest.threads;
+  // A recorded seed is pinned by definition; DET-005 audits the *live*
+  // invocation, not the flight recording.
+  det.seed_explicit = true;
+  if (!manifest.seeds.empty()) det.seed = manifest.seeds.front();
+  for (const obs::ManifestFault& fault : manifest.faults) {
+    det.armed_faults.push_back(fault.site);
+  }
+  if (det.armed_faults.empty() && !manifest.fault_spec.empty()) {
+    det.armed_faults.push_back(manifest.fault_spec);
+  }
+  for (const char* name : kBehaviourEnv) {
+    if (manifest.env.find(name) != manifest.env.end()) {
+      det.env_overrides.emplace_back(name);
+    }
+  }
+  if (const obs::Json* method = manifest.options.find("method")) {
+    det.randomized_method =
+        method->is_string() && method->as_string() == "random";
+  }
+  if (const obs::Json* budget = manifest.options.find("budget")) {
+    for (const char* key : {"total_s", "exchange_s", "analyze_s"}) {
+      const obs::Json* value = budget->find(key);
+      if (value != nullptr && value->is_number() &&
+          value->as_number() > 0.0) {
+        det.budget_enabled = true;
+      }
+    }
+  }
+  return det;
+}
+
 int cmd_check(const ArgParser& args) {
   if (args.has("list-rules")) {
     for (const CheckRule& rule : check_rules()) {
-      std::printf("%-10s %-10s %-7s %s\n", std::string(rule.id()).c_str(),
+      std::printf("%-10s %-12s %-7s %-28s %s\n",
+                  std::string(rule.id()).c_str(),
                   std::string(to_string(rule.stage())).c_str(),
                   std::string(to_string(rule.severity())).c_str(),
+                  inputs_text(rule.inputs()).c_str(),
                   std::string(rule.summary()).c_str());
     }
     return 0;
+  }
+
+  const std::string format =
+      args.get_string("format", args.has("json") ? "json" : "text");
+  require(format == "text" || format == "json" || format == "sarif",
+          "check: --format must be text, json or sarif");
+
+  // Severity/waiver policy: --config <file>, or ./.fpkit-check.json when
+  // present (--no-config opts out of the implicit load).
+  CheckEngineOptions engine_options;
+  const std::string config_path = args.get_string("config", "");
+  if (!config_path.empty()) {
+    engine_options.config = load_check_config(config_path);
+  } else if (!args.has("no-config")) {
+    if (std::ifstream probe(".fpkit-check.json"); probe.good()) {
+      engine_options.config = load_check_config(".fpkit-check.json");
+    }
   }
 
   const Package package = load_input(args);
@@ -352,6 +474,14 @@ int cmd_check(const ArgParser& args) {
   context.grid_spec = options.grid_spec;
   context.solver = options.solver;
   context.stacking = options.stacking;
+
+  // Determinism audit (DET-*): the live configuration by default, a
+  // recorded run manifest with --audit-run.
+  const std::string audit_dir = args.get_string("audit-run", "");
+  const DeterminismInfo det = audit_dir.empty()
+                                  ? live_determinism(args, options)
+                                  : audit_determinism(audit_dir);
+  context.determinism = &det;
 
   // Check a stored assignment when given, else the one the configured
   // assignment method produces (no exchange: check is a sign-off pass,
@@ -384,7 +514,18 @@ int cmd_check(const ArgParser& args) {
     context.via_plan = nullptr;
   }
 
-  const CheckReport report = run_checks(context);
+  CheckEngine engine(engine_options);
+  const CheckReport report = engine.run(context);
+
+  // The baseline ratchet: exit on *new* findings only, mirroring the
+  // `fpkit compare` gate (0 clean / 3 new findings / 2 bad input).
+  const std::string baseline_dir = args.get_string("baseline", "");
+  CheckBaselineDiff baseline_diff;
+  if (!baseline_dir.empty()) {
+    baseline_diff =
+        diff_check_baseline(report, load_check_baseline(baseline_dir));
+  }
+
   if (g_artifact.active()) {
     g_artifact.manifest.options = flow_options_to_json(options);
     g_artifact.manifest.seeds.push_back(options.random_seed);
@@ -392,21 +533,55 @@ int cmd_check(const ArgParser& args) {
     results["check_rules_run"] = report.rules_run;
     results["check_errors"] = static_cast<double>(report.error_count());
     results["check_warnings"] = static_cast<double>(report.warning_count());
+    results["check_waived"] = static_cast<double>(report.waived_count());
+    results["check_rules_executed"] =
+        static_cast<double>(engine.stats().last_executed);
+    results["check_cache_hits"] =
+        static_cast<double>(engine.stats().last_cache_hits);
+    if (!baseline_dir.empty()) {
+      results["check_new_findings"] =
+          static_cast<double>(baseline_diff.new_findings.size());
+    }
     obs::Json extra = obs::Json::object();
-    extra.set("check", obs::json_parse(report.to_json()));
+    extra.set("check", check_report_to_json(report));
     g_artifact.manifest.extra = std::move(extra);
   }
-  const std::string json_path = args.get_string("out", "");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << report.to_json();
-    require(out.good(), "check: cannot write '" + json_path + "'");
-    std::printf("wrote %s\n", json_path.c_str());
+
+  const std::string rendered =
+      format == "json"
+          ? report.to_json()
+          : format == "sarif"
+                ? check_report_to_sarif(report, args.positional().front())
+                          .dump() +
+                      "\n"
+                : report.to_string(args.has("waived"));
+  // --out always writes a machine format (SARIF when selected, else the
+  // canonical check JSON), independent of what stdout shows.
+  const std::string out_path = args.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << (format == "sarif" ? rendered : report.to_json());
+    require(out.good(), "check: cannot write '" + out_path + "'");
+    std::printf("wrote %s\n", out_path.c_str());
   }
-  std::printf("%s", args.has("json") ? report.to_json().c_str()
-                                     : report.to_string().c_str());
-  const bool failed = !report.passed() ||
-                      (args.has("strict") && !report.clean());
+  std::printf("%s", rendered.c_str());
+
+  if (!baseline_dir.empty()) {
+    std::printf("%s", baseline_diff.to_string().c_str());
+    if (!baseline_diff.clean()) {
+      std::fprintf(stderr,
+                   "fpkit check: %zu new finding(s) vs baseline "
+                   "(exit code 3)\n",
+                   baseline_diff.new_findings.size());
+      return 3;
+    }
+    return 0;
+  }
+  // --strict also fails on warnings; waived findings never gate.
+  const bool failed =
+      !report.passed() ||
+      (args.has("strict") &&
+       report.error_count() + report.warning_count() > 0);
   return failed ? 1 : 0;
 }
 
@@ -520,10 +695,28 @@ int cmd_compare(const ArgParser& args) {
   require(options.max_slowdown >= 0.0, "--max-slowdown must be >= 0");
   options.min_time_s = args.get_double("min-time", options.min_time_s);
   options.require_equal_cost = args.has("require-equal-cost");
-  const obs::CompareReport report = obs::compare_artifacts(
-      args.positional()[0], args.positional()[1], options);
-  std::printf("comparing %s vs %s\n%s", args.positional()[0].c_str(),
-              args.positional()[1].c_str(), report.to_string().c_str());
+  const std::string& dir_a = args.positional()[0];
+  const std::string& dir_b = args.positional()[1];
+  // Two batch artifacts diff job-by-job; everything else diffs as one
+  // run. Mixed shapes fall through to the plain compare, which reports
+  // the mismatching manifests itself.
+  if (obs::is_batch_artifact(dir_a) && obs::is_batch_artifact(dir_b)) {
+    const obs::BatchCompareReport report =
+        obs::compare_batch_artifacts(dir_a, dir_b, options);
+    std::printf("comparing batches %s vs %s\n%s", dir_a.c_str(),
+                dir_b.c_str(), report.to_string().c_str());
+    if (report.regressions() > 0) {
+      std::fprintf(stderr,
+                   "fpkit compare: %d regression(s) (exit code 3)\n",
+                   report.regressions());
+      return 3;
+    }
+    return 0;
+  }
+  const obs::CompareReport report =
+      obs::compare_artifacts(dir_a, dir_b, options);
+  std::printf("comparing %s vs %s\n%s", dir_a.c_str(), dir_b.c_str(),
+              report.to_string().c_str());
   if (report.regressions() > 0) {
     std::fprintf(stderr, "fpkit compare: %d regression(s) (exit code 3)\n",
                  report.regressions());
