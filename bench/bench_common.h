@@ -16,6 +16,7 @@
 #include "exec/exec.h"
 #include "exchange/exchange.h"
 #include "obs/artifact.h"
+#include "obs/metrics.h"
 #include "package/circuit_generator.h"
 #include "power/power_grid.h"
 #include "power/solver.h"
@@ -231,7 +232,11 @@ inline void save_bench_artifact(const std::string& dir,
     manifest.stages.push_back(obs::ManifestStage{key, s.wall_s});
     manifest.results["speedup." + key] = s.speedup;
   }
-  obs::write_run_artifact(dir, manifest, /*include_metrics=*/false,
+  // Metrics ride along when the sweep armed the registry (solver
+  // iteration histograms feed the dashboard's quantile panel); the trace
+  // stays off -- bench spans are timing noise, not flow structure.
+  obs::write_run_artifact(dir, manifest,
+                          /*include_metrics=*/obs::metrics_enabled(),
                           /*include_trace=*/false);
   std::printf("wrote artifact %s\n", dir.c_str());
 }
@@ -243,6 +248,9 @@ inline void emit_parallel_results(const std::string& json_path,
                                   const std::string& artifact_dir,
                                   const std::string& bench_name) {
   const Timer timer;
+  // An artifact-producing sweep records metrics too, so `fpkit dash` can
+  // chart solver iteration quantiles straight from the bench artifact.
+  if (!artifact_dir.empty()) obs::set_metrics_enabled(true);
   const std::vector<ParallelSample> samples = run_parallel_scaling();
   const double wall_s = timer.seconds();
   std::printf("parallel scaling (%d hardware thread(s)):\n",

@@ -1,6 +1,7 @@
 #include "codesign/flow.h"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 
 #include "analysis/check.h"
@@ -10,6 +11,7 @@
 #include "assign/ifa.h"
 #include "assign/random_assigner.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "route/router.h"
 #include "util/error.h"
@@ -122,6 +124,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
   {
     const Timer stage;
     const obs::ScopedSpan span("flow.check", "flow");
+    if (obs::progress_enabled()) obs::progress_stage("check");
     if (options_.self_check) {
       check_engine.run_or_throw(check_context, "flow entry");
     }
@@ -132,6 +135,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
   {
     const Timer stage;
     const obs::ScopedSpan span("flow.assign", "flow");
+    if (obs::progress_enabled()) obs::progress_stage("assign");
     switch (options_.method) {
       case AssignmentMethod::Random:
         result.initial = RandomAssigner(options_.random_seed).assign(package);
@@ -155,6 +159,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
   {
     const Timer stage;
     const obs::ScopedSpan span("flow.analyze.initial", "flow");
+    if (obs::progress_enabled()) obs::progress_stage("analyze_initial");
     const CancelToken stage_token = run_token.child(budget.analyze_s);
     result.max_density_initial =
         max_density(package, result.initial, options_.routing);
@@ -185,6 +190,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
   {
     const Timer stage;
     const obs::ScopedSpan span("flow.exchange", "flow");
+    if (obs::progress_enabled()) obs::progress_stage("exchange");
     const CancelToken stage_token = run_token.child(budget.exchange_s);
     if (options_.run_exchange) {
       ExchangeOptions exchange_options = options_.exchange;
@@ -236,6 +242,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
   {
     const Timer stage;
     const obs::ScopedSpan span("flow.analyze.final", "flow");
+    if (obs::progress_enabled()) obs::progress_stage("analyze_final");
     result.max_density_final =
         max_density(package, result.final, options_.routing);
     result.flyline_final_um = total_flyline_um(package, result.final);
@@ -263,6 +270,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
   }
 
   result.runtime_s = timer.seconds();
+  if (obs::progress_enabled()) obs::progress_finish();
   if (obs::metrics_enabled()) {
     obs::count("flow.runs");
     obs::gauge("flow.max_density", result.max_density_final);
@@ -301,6 +309,10 @@ BatchResult run_flow_batch(const Package& package,
   const obs::ScopedSpan span("flow.batch", "flow");
   BatchResult batch;
   batch.jobs.resize(jobs.size());
+  // Batch progress counts whole jobs (any order); the per-stage hooks
+  // inside CodesignFlow::run would interleave across workers, so they are
+  // superseded by one jobs-done counter here.
+  std::atomic<long long> completed{0};
   // Each job writes only its own slot; errors are captured per job rather
   // than propagated, so one failing scenario cannot take down a sweep.
   exec::parallel_tasks(jobs.size(), [&](std::size_t i) {
@@ -315,7 +327,12 @@ BatchResult run_flow_batch(const Package& package,
     } catch (const std::exception& error) {
       out.error = error.what();
     }
+    if (obs::progress_enabled()) {
+      obs::progress_tick("batch", completed.fetch_add(1) + 1,
+                         static_cast<long long>(batch.jobs.size()));
+    }
   });
+  if (obs::progress_enabled()) obs::progress_finish();
   batch.runtime_s = timer.seconds();
   if (obs::metrics_enabled()) {
     obs::count("flow.batch.runs");

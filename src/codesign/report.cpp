@@ -201,7 +201,11 @@ void fill_run_manifest(obs::RunManifest& manifest, const FlowOptions& options,
   r["flyline_final_um"] = result.flyline_final_um;
   r["ir_drop_initial_v"] = result.ir_initial.max_drop_v;
   r["ir_drop_final_v"] = result.ir_final.max_drop_v;
+  r["ir_drop_mean_initial_v"] = result.ir_initial.mean_drop_v;
+  r["ir_drop_mean_final_v"] = result.ir_final.mean_drop_v;
   r["ir_improvement_percent"] = result.ir_improvement_percent();
+  r["solver_iterations_final"] = result.ir_final.solver_iterations;
+  r["solver_attempts_final"] = result.ir_final.solver_attempts;
   r["omega_initial"] = result.bonding_initial.omega;
   r["omega_final"] = result.bonding_final.omega;
   r["bonding_final_um"] = result.bonding_final.total_um;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/faultpoint.h"
@@ -90,6 +91,16 @@ AnnealResult Annealer::run(double initial_cost, const TryMove& try_move,
                    {{"temperature", temperature},
                     {"cost", cost},
                     {"accepted", static_cast<double>(result.accepted)}});
+    }
+    if (obs::progress_enabled()) {
+      // Total cooling steps are fixed by the geometric schedule, so the
+      // heartbeat can show a real percentage and ETA.
+      const long long total_steps = static_cast<long long>(std::ceil(
+          std::log(schedule_.final_temperature /
+                   schedule_.initial_temperature) /
+          std::log(schedule_.cooling)));
+      obs::progress_tick(schedule_.metric_prefix, result.temperature_steps,
+                         total_steps);
     }
     for (int i = 0; i < schedule_.moves_per_temperature; ++i) {
       // Inner-loop budget poll, every 64 proposals so huge

@@ -11,6 +11,11 @@
 #include "util/error.h"
 #include "util/faultpoint.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
 namespace fp::obs {
 
 namespace {
@@ -52,6 +57,15 @@ bool is_cost_name(std::string_view name) {
   return name.find("cost") != std::string_view::npos;
 }
 
+}  // namespace
+
+bool timing_regression(double a, double b, const CompareOptions& options) {
+  return options.max_slowdown > 0.0 && a >= options.min_time_s &&
+         b > a * options.max_slowdown;
+}
+
+namespace {
+
 struct Comparer {
   const CompareOptions& options;
   CompareReport report;
@@ -92,8 +106,7 @@ struct Comparer {
     }
     bool regression = false;
     std::string note;
-    if (options.max_slowdown > 0.0 && a >= options.min_time_s &&
-        b > a * options.max_slowdown) {
+    if (timing_regression(a, b, options)) {
       regression = true;
       char buf[96];
       std::snprintf(buf, sizeof(buf), "--max-slowdown %.2f breached (%.2fx)",
@@ -150,6 +163,30 @@ void capture_environment(RunManifest& manifest) {
     manifest.faults.push_back(ManifestFault{site.site, site.after, site.times,
                                             site.hits, site.fired});
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // Host block under extra: lets the dashboard normalise trends across
+  // machines. Merged into any existing extra object (check puts its
+  // summary there first); never compared by compare_artifacts, so
+  // identical-seed runs on different hosts still compare clean.
+  Json host = Json::object();
+  host.set("cores",
+           Json::number(static_cast<long long>(sysconf(_SC_NPROCESSORS_ONLN))));
+  host.set("page_size_bytes",
+           Json::number(static_cast<long long>(sysconf(_SC_PAGESIZE))));
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    const long long peak_rss = usage.ru_maxrss;  // bytes on macOS
+#else
+    const long long peak_rss = usage.ru_maxrss * 1024;  // KiB on Linux
+#endif
+    host.set("peak_rss_bytes", Json::number(peak_rss));
+  }
+  if (!manifest.extra.is_object()) {
+    manifest.extra = Json::object();
+  }
+  manifest.extra.set("host", std::move(host));
+#endif
 }
 
 Json manifest_to_json(const RunManifest& manifest) {

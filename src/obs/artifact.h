@@ -131,6 +131,13 @@ struct CompareOptions {
   bool require_equal_cost = false;
 };
 
+/// The --max-slowdown timing gate on its own: true when baseline `a` is
+/// gateable (at/above min_time_s) and `b` exceeds a * max_slowdown. The
+/// comparer and the dashboard's regression highlighting share this exact
+/// predicate so `fpkit dash` never flags what `fpkit compare` would pass.
+[[nodiscard]] bool timing_regression(double a, double b,
+                                     const CompareOptions& options);
+
 /// One compared quantity. `regression` is only ever true for gated
 /// findings (slowdown breach, unequal cost under require_equal_cost).
 struct CompareFinding {

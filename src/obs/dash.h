@@ -1,0 +1,77 @@
+// Artifact-driven trend dashboard behind `fpkit dash` (docs/DASHBOARD.md):
+// scans a directory tree of fpkit.run.v1 artifacts (run, batch jobs,
+// check, bench), orders them into a trend timeline, and renders one
+// static self-contained HTML page with inline SVG line charts -- wall
+// clock, per-stage timings, Eq.-(3) SA cost, max/mean IR drop, solver
+// iteration quantiles and fallbacks, check findings and cache-hit rate.
+//
+// Determinism contract: runs are ordered by their scan path (never by
+// mtime or any clock), numbers render through fixed-width formatting and
+// series colors come from a fixed palette, so the same artifact set
+// always produces byte-identical HTML (tests/dash_test.cpp).
+//
+// Regression highlighting reuses the `fpkit compare` slowdown gate
+// (obs::timing_regression with the same CompareOptions), so a point the
+// dashboard paints red is exactly a point `fpkit compare --max-slowdown`
+// would fail.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/artifact.h"
+#include "obs/json.h"
+
+namespace fp::obs {
+
+struct DashOptions {
+  std::string title = "fpkit dashboard";
+  /// Timing gates shared with compare_artifacts; max_slowdown == 0 turns
+  /// regression highlighting off (pure trend view).
+  CompareOptions gates;
+};
+
+/// One scanned artifact: the manifest plus its metrics snapshot (null
+/// when the artifact carries no metrics.json, e.g. per-batch-job dirs).
+struct DashRun {
+  std::string label;  // path relative to the scan root (or the dir name)
+  std::string dir;    // the directory as found
+  RunManifest manifest;
+  Json metrics = Json();
+};
+
+/// Recursively finds every artifact directory (one containing a readable
+/// manifest.json) under `root`, including batch `jobs/job<i>/` children;
+/// `root` itself may be an artifact. Unreadable or malformed manifests
+/// are skipped. Results are sorted by path -- the dashboard's
+/// deterministic trend order.
+[[nodiscard]] std::vector<DashRun> scan_artifacts(const std::string& root);
+
+/// One gated slowdown between consecutive runs carrying the same
+/// quantity.
+struct DashRegression {
+  std::string quantity;   // "wall_s", "stage.exchange", ...
+  std::string from_run;   // baseline run label
+  std::string to_run;     // regressed run label
+  double baseline = 0.0;
+  double value = 0.0;
+};
+
+struct Dashboard {
+  DashOptions options;
+  std::vector<DashRun> runs;
+  std::vector<DashRegression> regressions;
+
+  /// The complete HTML page (embedded CSS, inline SVG; no external
+  /// references). Byte-identical for identical inputs.
+  [[nodiscard]] std::string to_html() const;
+};
+
+/// Assembles the dashboard model: takes the scanned runs (order is kept;
+/// concatenate scan_artifacts results for multiple roots) and, when
+/// options.gates.max_slowdown > 0, flags every consecutive-run timing
+/// slowdown through the compare gate.
+[[nodiscard]] Dashboard build_dashboard(std::vector<DashRun> runs,
+                                        const DashOptions& options);
+
+}  // namespace fp::obs

@@ -51,6 +51,28 @@ std::string json_number(double value) {
 
 }  // namespace
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || counts.empty() || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th sample (1-based), then walk the cumulative counts.
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // The overflow bucket is unbounded above; clamp to the last bound.
+      if (i >= bounds.size()) return bounds.back();
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double within = std::max(0.0, rank - cumulative) / in_bucket;
+      return lower + (upper - lower) * within;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
 void set_metrics_enabled(bool on) {
   detail::g_metrics.store(on, std::memory_order_relaxed);
 }

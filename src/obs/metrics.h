@@ -42,6 +42,12 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;   // bounds.size() + 1 entries
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Estimates the q-quantile (q in [0,1], e.g. 0.5/0.95/0.99) by linear
+  /// interpolation inside the bucket holding the q-th sample. The
+  /// overflow bucket has no upper bound, so estimates clamp to
+  /// bounds.back(). Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Columnar sample series (e.g. the SA cooling curve): one row per sample.

@@ -1,0 +1,100 @@
+// Chrome-trace profiler behind `fpkit dash --profile` (docs/DASHBOARD.md):
+// loads a trace.json (the tracer's own output, or any Chrome trace event
+// document), aggregates its spans into per-name self/total/count rows,
+// and renders the result as a text table, canonical JSON, or a
+// flamegraph-style SVG.
+//
+// The loader is deliberately forgiving where the artifact JSON parser is
+// strict: a truncated document (killed run, budget expiry, full disk) or
+// an unbalanced begin/end trace still loads -- complete events are
+// salvaged, unclosed spans are closed at the last seen timestamp, and
+// every repair is reported in ChromeTrace::notes so a degraded profile is
+// never mistaken for a clean one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fp::obs {
+
+/// One complete span read back from a trace ("X" events, or a matched
+/// "B"/"E" pair).
+struct ProfileSpan {
+  std::string name;
+  std::string category;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  int thread_id = 0;
+  int depth = -1;  // args.depth when present, else -1 (derived later)
+};
+
+/// A loaded trace: spans plus thread labels and any salvage diagnostics.
+struct ChromeTrace {
+  std::vector<ProfileSpan> spans;
+  std::map<int, std::string> thread_names;
+  std::size_t counter_events = 0;  // "C" events seen (not profiled)
+  /// Human-readable repair notes ("trace truncated: salvaged 41
+  /// event(s)", "2 unclosed span(s) closed at the last timestamp").
+  /// Empty for a clean, complete trace.
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool degraded() const { return !notes.empty(); }
+};
+
+/// Parses a Chrome trace event document. Well-formed documents go through
+/// the strict JSON parser; on a syntax error the loader salvages every
+/// complete event object before the truncation point instead of failing.
+/// Throws InvalidArgument only when not even one event can be recovered.
+[[nodiscard]] ChromeTrace parse_chrome_trace(std::string_view text);
+
+/// Reads and parses `path`; throws IoError when unreadable.
+[[nodiscard]] ChromeTrace load_chrome_trace(const std::string& path);
+
+/// One aggregated row of the profile: every span with this name, summed.
+/// `self_us` excludes time covered by child spans (same thread, nested
+/// inside), so the self column pinpoints where the time actually went.
+struct ProfileEntry {
+  std::string name;
+  std::string category;
+  long long count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct TraceProfile {
+  /// Rows sorted by self time, largest first (ties by name).
+  std::vector<ProfileEntry> entries;
+  /// The spans in layout order (thread, then start time) with nesting
+  /// depth resolved; to_flame_svg() draws from these.
+  std::vector<ProfileSpan> spans;
+  /// Thread labels carried over from the trace's metadata events.
+  std::map<int, std::string> thread_names;
+  /// Sum of top-level (unnested) span durations across all threads: the
+  /// traced wall time, which per-thread self times sum back to.
+  double root_total_us = 0.0;
+  int thread_count = 0;
+  std::size_t span_count = 0;
+  std::vector<std::string> notes;  // carried over from the loader
+
+  /// Fixed-width terminal table (self/total/count per name + notes).
+  [[nodiscard]] std::string to_text() const;
+  /// {"schema":"fpkit.profile.v1","entries":[...],...} (canonical JSON).
+  [[nodiscard]] Json to_json() const;
+  /// Flamegraph-style SVG: one band of depth rows per thread, span width
+  /// proportional to duration, colored by category. Self-contained and
+  /// deterministic for a fixed trace.
+  [[nodiscard]] std::string to_flame_svg() const;
+};
+
+/// Aggregates a loaded trace (per-name self/total/count, nesting resolved
+/// per thread by interval containment).
+[[nodiscard]] TraceProfile profile_trace(const ChromeTrace& trace);
+
+}  // namespace fp::obs

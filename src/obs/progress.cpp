@@ -1,0 +1,157 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace fp::obs {
+
+namespace detail {
+std::atomic<bool> g_progress{false};
+}  // namespace detail
+
+namespace {
+
+/// Heartbeat pacing: in-place terminal updates may repaint often; plain
+/// log lines (CI, redirected stderr) are kept to one per second.
+constexpr double kTtyIntervalS = 0.1;
+constexpr double kLineIntervalS = 1.0;
+
+struct ProgressState {
+  std::mutex mutex;
+  std::string stage;
+  std::chrono::steady_clock::time_point stage_start;
+  std::chrono::steady_clock::time_point last_render;
+  bool rendered = false;      // an in-place line is on screen
+  std::size_t last_width = 0;  // width of that line, for clean erasing
+};
+
+ProgressState& state() {
+  static ProgressState instance;
+  return instance;
+}
+
+bool stderr_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  static const bool tty = isatty(fileno(stderr)) != 0;
+  return tty;
+#else
+  return false;
+#endif
+}
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Renders `line` to stderr: \r-overwrite on a terminal, a plain line
+/// otherwise. Caller holds the state mutex.
+void emit(ProgressState& s, const std::string& line) {
+  if (stderr_is_tty()) {
+    std::string padded = line;
+    if (s.last_width > padded.size()) {
+      padded.append(s.last_width - padded.size(), ' ');
+    }
+    std::fprintf(stderr, "\r%s", padded.c_str());
+    std::fflush(stderr);
+    s.rendered = true;
+    s.last_width = line.size();
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+void set_progress_enabled(bool on) {
+  detail::g_progress.store(on, std::memory_order_relaxed);
+}
+
+bool arm_progress_from_env() {
+  const char* env = std::getenv("FPKIT_PROGRESS");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) {
+    return false;
+  }
+  set_progress_enabled(true);
+  return true;
+}
+
+std::string progress_line(std::string_view stage, long long done,
+                          long long total, double elapsed_s) {
+  char buf[160];
+  if (total > 0) {
+    const long long clamped = done < 0 ? 0 : (done > total ? total : done);
+    const double fraction =
+        static_cast<double>(clamped) / static_cast<double>(total);
+    if (clamped > 0 && clamped < total && elapsed_s > 0.0) {
+      const double eta_s = elapsed_s * (1.0 - fraction) / fraction;
+      std::snprintf(buf, sizeof(buf), "[%.*s] %3.0f%% (%lld/%lld) eta %.1fs",
+                    static_cast<int>(stage.size()), stage.data(),
+                    fraction * 100.0, clamped, total, eta_s);
+    } else {
+      std::snprintf(buf, sizeof(buf), "[%.*s] %3.0f%% (%lld/%lld)",
+                    static_cast<int>(stage.size()), stage.data(),
+                    fraction * 100.0, clamped, total);
+    }
+  } else if (done > 0) {
+    std::snprintf(buf, sizeof(buf), "[%.*s] %lld units",
+                  static_cast<int>(stage.size()), stage.data(), done);
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%.*s] ...",
+                  static_cast<int>(stage.size()), stage.data());
+  }
+  return buf;
+}
+
+void progress_stage(std::string_view stage) {
+  if (!progress_enabled()) return;
+  ProgressState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto now = std::chrono::steady_clock::now();
+  s.stage.assign(stage);
+  s.stage_start = now;
+  s.last_render = now;
+  emit(s, progress_line(stage, 0, 0, 0.0));
+}
+
+void progress_tick(std::string_view stage, long long done, long long total) {
+  if (!progress_enabled()) return;
+  ProgressState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto now = std::chrono::steady_clock::now();
+  if (s.stage != stage) {
+    s.stage.assign(stage);
+    s.stage_start = now;
+  } else {
+    const double interval =
+        stderr_is_tty() ? kTtyIntervalS : kLineIntervalS;
+    // Always render the final tick so a finished stage shows 100%.
+    if (seconds_between(s.last_render, now) < interval &&
+        !(total > 0 && done >= total)) {
+      return;
+    }
+  }
+  s.last_render = now;
+  emit(s, progress_line(stage, done, total,
+                        seconds_between(s.stage_start, now)));
+}
+
+void progress_finish() {
+  if (!progress_enabled()) return;
+  ProgressState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.rendered) return;
+  std::fprintf(stderr, "\r%*s\r", static_cast<int>(s.last_width), "");
+  std::fflush(stderr);
+  s.rendered = false;
+  s.last_width = 0;
+}
+
+}  // namespace fp::obs

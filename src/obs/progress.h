@@ -1,0 +1,56 @@
+// Live run progress for long flows (docs/DASHBOARD.md): heartbeat lines
+// on stderr with the active stage, a percent-complete derived from the
+// stage's own unit counter (SA temperature steps, solver iterations,
+// router improvement passes) and a naive linear ETA.
+//
+// Opt-in via `fpkit ... --progress` or FPKIT_PROGRESS=1. Like the tracer
+// and the metrics registry, the disabled path is one relaxed atomic load
+// per heartbeat site -- no clock read, no lock, no allocation -- so a run
+// without --progress stays bit-identical to an uninstrumented build
+// (tests/dash_test.cpp asserts this). When enabled, everything goes to
+// stderr only; stdout and every numeric result are untouched.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace fp::obs {
+
+namespace detail {
+extern std::atomic<bool> g_progress;
+}  // namespace detail
+
+/// True when heartbeat sites render (one relaxed load).
+inline bool progress_enabled() {
+  return detail::g_progress.load(std::memory_order_relaxed);
+}
+
+/// Turns progress rendering on or off.
+void set_progress_enabled(bool on);
+
+/// Arms progress when FPKIT_PROGRESS is set to anything but "" or "0";
+/// returns whether it armed. The CLI calls this next to --progress.
+bool arm_progress_from_env();
+
+/// Announces a new stage ("assign", "exchange", ...): resets the stage
+/// clock and renders one heartbeat immediately. No-op when disabled.
+void progress_stage(std::string_view stage);
+
+/// Reports `done` of `total` units for `stage` and renders a throttled
+/// heartbeat (in-place \r updates on a terminal, rate-limited plain lines
+/// otherwise). `total <= 0` renders the unit count without a percentage.
+/// No-op when disabled.
+void progress_tick(std::string_view stage, long long done, long long total);
+
+/// Clears the in-place status line (terminal mode); call before handing
+/// stderr back. No-op when disabled or when nothing was rendered.
+void progress_finish();
+
+/// One rendered heartbeat line, without the trailing newline/carriage
+/// return ("[exchange] 42% (123/290) eta 1.2s"). Exposed for tests; pure.
+[[nodiscard]] std::string progress_line(std::string_view stage,
+                                        long long done, long long total,
+                                        double elapsed_s);
+
+}  // namespace fp::obs

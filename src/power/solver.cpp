@@ -7,6 +7,7 @@
 
 #include "exec/exec.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/faultpoint.h"
@@ -227,6 +228,9 @@ SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
       if (obs::tracing_enabled()) {
         obs::counter("solver.residual", {{"relative_residual", rel}});
       }
+      if (obs::progress_enabled()) {
+        obs::progress_tick("solver", iter + 1, options.max_iterations);
+      }
       if (is_diverging(rel, best_rel)) {
         special = SolveStop::Diverged;
         ++iter;
@@ -305,6 +309,9 @@ SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
     const double rel = std::sqrt(r_norm) / b_norm;
     if (obs::tracing_enabled()) {
       obs::counter("solver.residual", {{"relative_residual", rel}});
+    }
+    if (obs::progress_enabled() && (iter & 15) == 0) {
+      obs::progress_tick("solver", iter, options.max_iterations);
     }
     if (fault::enabled() && fault::triggered("solver.step")) {
       special = SolveStop::Diverged;  // simulated numeric blow-up
@@ -453,6 +460,9 @@ class MultigridSolver {
                          : norm(levels_.front().r);
       if (obs::tracing_enabled()) {
         obs::counter("solver.residual", {{"relative_residual", rel}});
+      }
+      if (obs::progress_enabled()) {
+        obs::progress_tick("solver", cycles + 1, options_.max_iterations);
       }
       if (is_diverging(rel, best_rel)) {
         special = SolveStop::Diverged;

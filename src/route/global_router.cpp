@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "route/legality.h"
 #include "util/faultpoint.h"
@@ -238,6 +239,9 @@ GlobalRouteConfig GlobalRouter::improve(
       break;
     }
     ++passes;
+    if (obs::progress_enabled()) {
+      obs::progress_tick("route", passes, options_.max_passes);
+    }
     bool changed = false;
     for (int a = 0; a < assignment.size(); ++a) {
       ViaSite& site = config.via_of_finger[static_cast<std::size_t>(a)];

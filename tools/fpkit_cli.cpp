@@ -66,8 +66,11 @@
 #include "io/assignment_file.h"
 #include "io/circuit_file.h"
 #include "obs/artifact.h"
+#include "obs/dash.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "package/circuit_generator.h"
 #include "package/lint.h"
@@ -89,7 +92,7 @@ using namespace fp;
 int usage() {
   std::fprintf(stderr,
                "usage: fpkit <generate|info|run|route|ir|spice|check|batch|"
-               "compare> [flags]\n"
+               "compare|dash> [flags]\n"
                "  generate --table1 <1..5> [--tiers N] [--seed S] "
                "[--supply F] --out <file.fp>\n"
                "  info     <circuit.fp>\n"
@@ -116,6 +119,11 @@ int usage() {
                " [...run flags]\n"
                "  compare  <runA> <runB> [--max-slowdown X]"
                " [--require-equal-cost] [--min-time S]\n"
+               "  dash     <artifact-dir>... [--out dash.html] [--title T]\n"
+               "           [--max-slowdown X] [--min-time S]   trend"
+               " dashboard (docs/DASHBOARD.md)\n"
+               "  dash     --profile <trace.json> [--format text|json]"
+               " [--out f] [--flame f.svg]\n"
                "parallelism (see docs/PARALLELISM.md):\n"
                "  --threads N         worker threads, 0 = all cores"
                " [env FPKIT_THREADS; default 1]\n"
@@ -127,6 +135,8 @@ int usage() {
                "  --metrics <m.json>  counters/gauges/histograms snapshot\n"
                "  --artifact-dir <d>  manifest+metrics+trace flight recorder"
                " [env FPKIT_ARTIFACT_DIR]\n"
+               "  --progress          live stage/percent/ETA heartbeat on"
+               " stderr [env FPKIT_PROGRESS]\n"
                "resilience (any subcommand; see docs/ROBUSTNESS.md):\n"
                "  --budget S [--budget-exchange S] [--budget-analyze S]"
                "  wall-clock caps\n"
@@ -725,6 +735,88 @@ int cmd_compare(const ArgParser& args) {
   return 0;
 }
 
+/// `fpkit dash --profile <trace.json>`: aggregate one Chrome trace into
+/// per-name self/total/count rows (text or JSON) and, with --flame, a
+/// flamegraph-style SVG. A truncated or unbalanced trace still profiles;
+/// its repair notes ride along in every output format.
+int dash_profile(const ArgParser& args, const std::string& trace_path) {
+  const obs::ChromeTrace trace = obs::load_chrome_trace(trace_path);
+  const obs::TraceProfile profile = obs::profile_trace(trace);
+
+  const std::string format = args.get_string("format", "text");
+  require(format == "text" || format == "json",
+          "dash --profile: --format must be text or json");
+  const std::string rendered = format == "json"
+                                   ? profile.to_json().dump() + "\n"
+                                   : profile.to_text();
+  const std::string out_path = args.get_string("out", "");
+  if (out_path.empty()) {
+    std::printf("%s", rendered.c_str());
+  } else {
+    std::ofstream out(out_path);
+    out << rendered;
+    require(out.good(), "dash: cannot write '" + out_path + "'");
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  const std::string flame_path = args.get_string("flame", "");
+  if (!flame_path.empty()) {
+    std::ofstream flame(flame_path);
+    flame << profile.to_flame_svg();
+    require(flame.good(), "dash: cannot write '" + flame_path + "'");
+    std::printf("wrote %s\n", flame_path.c_str());
+  }
+  return 0;
+}
+
+/// `fpkit dash <artifact-dir>...`: scan for fpkit.run.v1 artifacts and
+/// render the trend dashboard. Exit contract mirrors `fpkit compare`:
+/// 0 ok / 3 when --max-slowdown is set and a gated slowdown was flagged /
+/// 2 bad input.
+int cmd_dash(const ArgParser& args) {
+  const std::string trace_path = args.get_string("profile", "");
+  if (!trace_path.empty()) return dash_profile(args, trace_path);
+
+  require(!args.positional().empty(),
+          "dash: need at least one artifact directory "
+          "(or --profile <trace.json>)");
+  obs::DashOptions options;
+  options.title = args.get_string("title", options.title);
+  options.gates.max_slowdown = args.get_double("max-slowdown", 0.0);
+  require(options.gates.max_slowdown >= 0.0, "--max-slowdown must be >= 0");
+  options.gates.min_time_s =
+      args.get_double("min-time", options.gates.min_time_s);
+
+  std::vector<obs::DashRun> runs;
+  for (const std::string& root : args.positional()) {
+    std::vector<obs::DashRun> found = obs::scan_artifacts(root);
+    runs.insert(runs.end(), std::make_move_iterator(found.begin()),
+                std::make_move_iterator(found.end()));
+  }
+  require(!runs.empty(),
+          "dash: no fpkit.run.v1 artifacts under the given directories");
+
+  const obs::Dashboard dash =
+      obs::build_dashboard(std::move(runs), options);
+  const std::string out_path = args.get_string("out", "dash.html");
+  std::ofstream out(out_path);
+  out << dash.to_html();
+  require(out.good(), "dash: cannot write '" + out_path + "'");
+  std::printf("wrote %s (%zu run(s), %zu regression(s))\n",
+              out_path.c_str(), dash.runs.size(), dash.regressions.size());
+  if (!dash.regressions.empty()) {
+    for (const obs::DashRegression& r : dash.regressions) {
+      std::fprintf(stderr, "  %s: %g -> %g (%s -> %s)\n",
+                   r.quantity.c_str(), r.baseline, r.value,
+                   r.from_run.c_str(), r.to_run.c_str());
+    }
+    std::fprintf(stderr,
+                 "fpkit dash: %zu timing regression(s) (exit code 3)\n",
+                 dash.regressions.size());
+    return 3;
+  }
+  return 0;
+}
+
 int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "info") return cmd_info(args);
@@ -735,6 +827,7 @@ int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "check") return cmd_check(args);
   if (command == "batch") return cmd_batch(args);
   if (command == "compare") return cmd_compare(args);
+  if (command == "dash") return cmd_dash(args);
   return usage();
 }
 
@@ -754,10 +847,18 @@ ObsPaths arm_observability(const ArgParser& args,
     if (const char* env = std::getenv("FPKIT_TRACE")) paths.trace = env;
   }
   paths.metrics = args.get_string("metrics", "");
+  // Live progress heartbeat (docs/DASHBOARD.md): stderr-only, bit-
+  // identical results either way.
+  if (args.has("progress")) {
+    obs::set_progress_enabled(true);
+  } else {
+    obs::arm_progress_from_env();
+  }
   // The flight recorder wants the full flight: an armed artifact dir
-  // turns on both metrics and tracing. `compare` reads artifacts rather
-  // than producing one, so it ignores an inherited FPKIT_ARTIFACT_DIR.
-  if (command != "compare") {
+  // turns on both metrics and tracing. `compare` and `dash` read
+  // artifacts rather than producing one, so they ignore an inherited
+  // FPKIT_ARTIFACT_DIR.
+  if (command != "compare" && command != "dash") {
     g_artifact.dir = args.get_string("artifact-dir", "");
     if (g_artifact.dir.empty()) {
       if (const char* env = std::getenv("FPKIT_ARTIFACT_DIR")) {
