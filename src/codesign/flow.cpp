@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <fstream>
+#include <map>
 
 #include "analysis/check.h"
 #include "analysis/engine.h"
@@ -16,6 +17,7 @@
 #include "route/router.h"
 #include "util/error.h"
 #include "util/faultpoint.h"
+#include "util/signal.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -45,6 +47,8 @@ std::string_view to_string(DegradeReason reason) {
       return "exchange_aborted";
     case DegradeReason::AnalysisFailed:
       return "analysis_failed";
+    case DegradeReason::Interrupted:
+      return "interrupted";
   }
   return "unknown";
 }
@@ -96,12 +100,18 @@ FlowResult CodesignFlow::run(const Package& package) const {
   };
 
   // The run-level deadline; per-stage caps derive tighter children below.
-  // All-zero budgets produce never-expiring tokens that are never even
-  // wired into the stages, so the unbudgeted path is untouched.
+  // All-zero budgets produce never-expiring tokens, and unless the run is
+  // interruptible they are never even wired into the stages, so the plain
+  // library path is untouched. An interruptible run wires the tokens too:
+  // they stay limitless but answer the process-wide SIGINT/SIGTERM flag,
+  // which never fires in a run that finishes undisturbed -- results are
+  // bit-identical either way.
   const FlowBudget& budget = options_.budget;
-  const CancelToken run_token = budget.total_s > 0.0
-                                    ? CancelToken::after_seconds(budget.total_s)
-                                    : CancelToken();
+  CancelToken run_token = budget.total_s > 0.0
+                              ? CancelToken::after_seconds(budget.total_s)
+                              : CancelToken();
+  if (options_.interruptible) run_token.set_interrupt_linked(true);
+  const bool cancellable = budget.enabled() || options_.interruptible;
 
   // Debug-build stage gates: validate the package before planning and the
   // assignment after each step, so a corrupt artifact aborts loudly at
@@ -166,7 +176,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
     result.flyline_initial_um = total_flyline_um(package, result.initial);
     if (has_supply) {
       SolverOptions solver = options_.solver;
-      if (budget.enabled()) solver.cancel = &stage_token;
+      if (cancellable) solver.cancel = &stage_token;
       try {
         result.ir_initial =
             analyze_ir(package, result.initial, options_.grid_spec, solver);
@@ -196,7 +206,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
       ExchangeOptions exchange_options = options_.exchange;
       exchange_options.grid_spec = options_.grid_spec;
       exchange_options.solver = options_.solver;
-      if (budget.enabled()) {
+      if (cancellable) {
         exchange_options.schedule.cancel = &stage_token;
         exchange_options.solver.cancel = &stage_token;
       }
@@ -249,7 +259,7 @@ FlowResult CodesignFlow::run(const Package& package) const {
     const CancelToken stage_token = run_token.child(budget.analyze_s);
     if (has_supply) {
       SolverOptions solver = options_.solver;
-      if (budget.enabled()) solver.cancel = &stage_token;
+      if (cancellable) solver.cancel = &stage_token;
       try {
         result.ir_final =
             analyze_ir(package, result.final, options_.grid_spec, solver);
@@ -267,6 +277,15 @@ FlowResult CodesignFlow::run(const Package& package) const {
     result.bonding_final =
         analyze_bonding(package, result.final, options_.stacking);
     record_stage("analyze_final", stage);
+  }
+
+  // An interrupt is attributed once, at the run level: the stage-level
+  // events above already say what was cut short, this one says *why* so
+  // the CLI can map the run to the interrupted exit code (5) instead of
+  // the plain degraded one (3).
+  if (options_.interruptible && sig::interrupted()) {
+    degrade("flow", DegradeReason::Interrupted,
+            "SIGINT/SIGTERM received; best-so-far results kept");
   }
 
   result.runtime_s = timer.seconds();
@@ -321,6 +340,15 @@ BatchResult run_flow_batch(const Package& package,
     // One span per job, named by slot: a batch trace reads as
     // "flow.batch.job3" blocks fanned across the worker tracks.
     const obs::ScopedSpan span("flow.batch.job" + std::to_string(i), "flow");
+    // Graceful-drain contract (docs/ROBUSTNESS.md): once the process has
+    // taken a SIGINT/SIGTERM, jobs that have not started yet are skipped
+    // outright -- only the in-flight ones run to their best-so-far end.
+    // Without an installed handler the flag can never be set, so plain
+    // library batches are unaffected.
+    if (sig::interrupted()) {
+      out.error = "skipped: batch interrupted before this job started";
+      return;
+    }
     try {
       out.result = CodesignFlow(jobs[i].options).run(package);
       out.ok = true;
@@ -418,6 +446,11 @@ std::vector<BatchJob> load_batch_jobs(const std::string& path,
     throw IoError("load_batch_jobs: cannot open '" + path + "'");
   }
   std::vector<BatchJob> jobs;
+  // Labels key everything downstream -- batch report rows, jobs/job<i>
+  // artifact matching, the farm journal -- so two jobs sharing one label
+  // (explicit or generated, e.g. two unlabelled "method=dfa seed=1"
+  // lines) are rejected here rather than silently shadowing each other.
+  std::map<std::string, int> label_lines;
   std::string text;
   int line_number = 0;
   while (std::getline(file, text)) {
@@ -446,6 +479,13 @@ std::vector<BatchJob> load_batch_jobs(const std::string& path,
       job.label = std::string(to_string(job.options.method)) + "/seed=" +
                   std::to_string(
                       static_cast<long long>(job.options.random_seed));
+    }
+    const auto [it, inserted] = label_lines.emplace(job.label, line_number);
+    if (!inserted) {
+      throw InvalidArgument("jobs file line " + std::to_string(line_number) +
+                            ": duplicate job label '" + job.label +
+                            "' (first used on line " +
+                            std::to_string(it->second) + ")");
     }
     jobs.push_back(std::move(job));
   }

@@ -53,6 +53,7 @@ enum class DegradeReason {
   SolverUnconverged,  // IR figures are best-so-far, not converged
   ExchangeAborted,    // the SA run stopped early (fault or error)
   AnalysisFailed,     // IR scoring failed entirely; drop figures zeroed
+  Interrupted,        // SIGINT/SIGTERM drain: best-so-far results kept
 };
 
 [[nodiscard]] std::string_view to_string(DegradeReason reason);
@@ -81,6 +82,13 @@ struct FlowOptions {
   /// Wall-clock budgets; all-zero (the default) means run to completion
   /// with bit-identical behaviour to an unbudgeted build.
   FlowBudget budget;
+  /// Link the run's cancel tokens to the process-wide SIGINT/SIGTERM
+  /// flag (util/signal.h): after a signal the stages drain keep-best-
+  /// so-far exactly like a budget expiry and the result carries a
+  /// DegradeReason::Interrupted event. Off by default -- a library user
+  /// who never installs sig::install_graceful() is unaffected either
+  /// way; the CLI turns it on for run/batch/farm workers.
+  bool interruptible = false;
   /// Run the static analyzer (analysis/check.h) between flow stages and
   /// throw CheckFailure on any Error-severity finding: the package is
   /// checked on entry and the assignment after each step. On by default

@@ -1,0 +1,584 @@
+#include "farm/farm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "codesign/report.h"
+#include "exec/subprocess.h"
+#include "io/circuit_file.h"
+#include "obs/artifact.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/signal.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace fp::farm {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::size_t kStderrTailBytes = 2048;
+constexpr auto kPollInterval = std::chrono::milliseconds(10);
+constexpr auto kHeartbeatInterval = std::chrono::milliseconds(200);
+
+std::string job_dir(const std::string& farm_dir, int job) {
+  return farm_dir + "/jobs/job" + std::to_string(job);
+}
+
+/// Touches `path` so its mtime advances; the supervisor's hang detector
+/// reads the mtime back. Plain truncating write -- a torn heartbeat file
+/// is fine, only the timestamp matters.
+void beat(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "beat\n";
+}
+
+/// Keeps the worker's heartbeat file fresh while the flow runs. The
+/// FPKIT_FARM_WORKER_NO_HEARTBEAT=1 test hook suppresses it so hang
+/// detection can be exercised without a genuinely wedged solver.
+class HeartbeatThread {
+ public:
+  explicit HeartbeatThread(std::string path) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    if (const char* env = std::getenv("FPKIT_FARM_WORKER_NO_HEARTBEAT")) {
+      if (std::string_view(env) == "1") return;
+    }
+    beat(path_);
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(kHeartbeatInterval);
+        beat(path_);
+      }
+    });
+  }
+  ~HeartbeatThread() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::string path_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// FPKIT_FARM_WORKER_STALL_MS test hook: park before running the job so
+/// timeout/hang paths are deterministic in tests. Sleeps in small slices
+/// so an interrupt drain still gets through.
+void maybe_stall() {
+  const char* env = std::getenv("FPKIT_FARM_WORKER_STALL_MS");
+  if (env == nullptr) return;
+  long long remaining_ms = 0;
+  try {
+    remaining_ms = parse_int(env);
+  } catch (const Error&) {
+    return;
+  }
+  while (remaining_ms > 0 && !sig::interrupted()) {
+    const long long slice = std::min<long long>(remaining_ms, 20);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    remaining_ms -= slice;
+  }
+}
+
+/// Writes a per-job artifact in exactly the shape `fpkit batch` gives its
+/// job artifacts (manifest only; batch-job subcommand; label and error
+/// under extra), so farm trees and batch trees diff cleanly.
+void write_job_artifact(const std::string& dir, obs::RunManifest manifest) {
+  manifest.subcommand = "batch-job";
+  manifest.version = std::string(obs::kToolVersion);
+  obs::write_run_artifact(dir, manifest, /*include_metrics=*/false,
+                          /*include_trace=*/false);
+}
+
+}  // namespace
+
+int run_farm_worker(const WorkerOptions& options) {
+  sig::install_graceful();
+  const HeartbeatThread heartbeat(options.heartbeat_path);
+  maybe_stall();
+
+  obs::RunManifest manifest;
+  obs::Json extra = obs::Json::object();
+  try {
+    const std::vector<BatchJob> jobs =
+        load_batch_jobs(options.jobs_file, options.base);
+    require(options.job_index >= 0 &&
+                static_cast<std::size_t>(options.job_index) < jobs.size(),
+            "farm worker: --job-index " + std::to_string(options.job_index) +
+                " out of range (jobs file has " +
+                std::to_string(jobs.size()) + " job(s))");
+    const BatchJob& job = jobs[static_cast<std::size_t>(options.job_index)];
+    extra.set("label", obs::Json::string(job.label));
+
+    const Package package = load_circuit(options.circuit);
+    FlowOptions flow = job.options;
+    flow.interruptible = true;  // SIGINT/SIGTERM -> best-so-far + exit 5
+    const FlowResult result = CodesignFlow(flow).run(package);
+
+    const bool interrupted = std::any_of(
+        result.degrade_events.begin(), result.degrade_events.end(),
+        [](const DegradeEvent& event) {
+          return event.reason == DegradeReason::Interrupted;
+        });
+    fill_run_manifest(manifest, flow, result);
+    manifest.exit_code = interrupted ? 5 : (result.degraded ? 3 : 0);
+    manifest.extra = std::move(extra);
+    write_job_artifact(options.out_dir, std::move(manifest));
+    return interrupted ? 5 : (result.degraded ? 3 : 0);
+  } catch (const Error& error) {
+    // Record the failure in the artifact (like a failed batch job), then
+    // surface the documented exit code; the supervisor classifies it.
+    std::fprintf(stderr, "fpkit farm worker: %s\n", error.describe().c_str());
+    const int code = (error.code() == ErrorCode::InvalidInput ||
+                      error.code() == ErrorCode::Io)
+                         ? 2
+                         : 4;
+    extra.set("error", obs::Json::string(error.describe()));
+    manifest.exit_code = code;
+    manifest.extra = std::move(extra);
+    try {
+      write_job_artifact(options.out_dir, std::move(manifest));
+    } catch (const Error& write_error) {
+      std::fprintf(stderr, "fpkit farm worker: %s\n", write_error.what());
+    }
+    return code;
+  }
+}
+
+namespace {
+
+/// One running worker process tracked by the supervisor.
+struct Slot {
+  int job = -1;
+  int attempt = 0;
+  exec::Child child;
+  Timer started;
+  std::string stdout_path;
+  std::string stderr_path;
+  std::string heartbeat_path;
+  bool killing = false;      // SIGKILL sent, waiting for the reap
+  std::string kill_reason;   // "timeout" | "hang" | "drain"
+};
+
+/// A pending job and the earliest instant it may launch (backoff).
+struct PendingJob {
+  Clock::time_point ready_at;
+  int job = 0;
+};
+
+/// Seconds since the heartbeat file was last touched; `fallback` (time
+/// since spawn) when the file does not exist yet.
+double heartbeat_age_s(const std::string& path, double fallback) {
+  std::error_code ec;
+  const fs::file_time_type stamp = fs::last_write_time(path, ec);
+  if (ec) return fallback;
+  const auto age = fs::file_time_type::clock::now() - stamp;
+  return std::chrono::duration<double>(age).count();
+}
+
+/// Turns a reaped worker's exit status into the journal's attempt record.
+AttemptRecord classify(const Slot& slot, const exec::ExitStatus& status) {
+  AttemptRecord record;
+  record.attempt = slot.attempt;
+  const std::string tail = exec::read_tail(slot.stderr_path, kStderrTailBytes);
+  const auto with_tail = [&tail](std::string detail) {
+    if (!tail.empty()) detail += "; stderr: " + tail;
+    return detail;
+  };
+  if (slot.killing && slot.kill_reason == "drain") {
+    record.outcome = "interrupted";
+    record.signal = SIGKILL;
+    record.detail = "killed during interrupt drain";
+  } else if (slot.killing) {
+    record.outcome = "timeout";
+    record.code = std::string(to_string(ErrorCode::Timeout));
+    record.signal = SIGKILL;
+    record.detail = slot.kill_reason == "hang"
+                        ? "heartbeat stalled; worker killed"
+                        : "wall-clock cap exceeded; worker killed";
+  } else if (!status.exited) {
+    record.outcome = "crash";
+    record.code = std::string(to_string(ErrorCode::Crash));
+    record.signal = status.signal;
+    record.detail = with_tail("worker died: " + status.to_string());
+  } else {
+    switch (status.code) {
+      case 0:
+        record.outcome = "ok";
+        break;
+      case 3:
+        record.outcome = "degraded";
+        record.exit_code = 3;
+        break;
+      case 5:
+        record.outcome = "interrupted";
+        record.exit_code = 5;
+        record.detail = "worker drained on signal";
+        break;
+      case 2:
+        record.outcome = "error";
+        record.code = std::string(to_string(ErrorCode::InvalidInput));
+        record.exit_code = 2;
+        record.detail = with_tail("worker rejected its input");
+        break;
+      default:
+        record.outcome = "error";
+        record.code = std::string(to_string(ErrorCode::Internal));
+        record.exit_code = status.code;
+        record.detail = with_tail("worker failed: " + status.to_string());
+        break;
+    }
+  }
+  return record;
+}
+
+/// Aggregates the replayed journal into the outcome the CLI reports.
+FarmOutcome summarize(const JournalState& state, bool interrupted,
+                      double runtime_s) {
+  FarmOutcome outcome;
+  outcome.jobs = state.jobs.size();
+  outcome.interrupted = interrupted;
+  outcome.runtime_s = runtime_s;
+  for (const JobProgress& job : state.jobs) {
+    if (job.state == JobProgress::State::Done) {
+      ++outcome.done;
+      if (job.degraded) ++outcome.degraded;
+    } else if (job.state == JobProgress::State::Failed) {
+      ++outcome.failed;
+    }
+    outcome.retries += std::max(0, job.attempts - 1);
+    for (const AttemptRecord& record : job.history) {
+      if (record.outcome == "crash") ++outcome.crashes;
+      if (record.outcome == "timeout") ++outcome.timeouts;
+    }
+  }
+  if (interrupted) {
+    outcome.exit_code = 5;
+  } else if (outcome.failed > 0) {
+    outcome.exit_code = 4;
+  } else if (outcome.done < outcome.jobs) {
+    outcome.exit_code = 5;  // unfinished without a signal: treat as drained
+  } else if (outcome.degraded > 0) {
+    outcome.exit_code = 3;
+  } else {
+    outcome.exit_code = 0;
+  }
+  return outcome;
+}
+
+/// Publishes the farm-level manifest (+ metrics) into the farm directory
+/// without disturbing jobs/ or the journal. Result keys mirror `fpkit
+/// batch` (jobs/jobs_failed/jobs_degraded/runtime_s) so compare diffs
+/// farm-vs-batch top manifests cleanly; the farm_* keys are one-sided
+/// extras that never gate.
+void publish_manifest(const std::string& dir, const FarmJournal& journal,
+                      const FarmOutcome& outcome, double wall_s) {
+  const JournalState& state = journal.state();
+  obs::RunManifest manifest;
+  manifest.subcommand = "farm";
+  manifest.version = std::string(obs::kToolVersion);
+  manifest.threads = state.header.workers;
+  manifest.wall_s = wall_s;
+  manifest.exit_code = outcome.exit_code;
+  manifest.fault_spec = state.header.fault_spec;
+  obs::capture_environment(manifest);
+  auto& results = manifest.results;
+  results["jobs"] = static_cast<double>(outcome.jobs);
+  results["jobs_failed"] = static_cast<double>(outcome.failed);
+  results["jobs_degraded"] = static_cast<double>(outcome.degraded);
+  results["runtime_s"] = outcome.runtime_s;
+  results["farm_retries"] = static_cast<double>(outcome.retries);
+  results["farm_crashes"] = static_cast<double>(outcome.crashes);
+  results["farm_timeouts"] = static_cast<double>(outcome.timeouts);
+
+  obs::Json jobs = obs::Json::array();
+  for (const JobProgress& job : state.jobs) {
+    obs::Json entry = obs::Json::object();
+    entry.set("label", obs::Json::string(job.label));
+    const char* status = job.state == JobProgress::State::Done
+                             ? (job.degraded ? "degraded" : "ok")
+                             : job.state == JobProgress::State::Failed
+                                   ? "failed"
+                                   : "pending";
+    entry.set("status", obs::Json::string(status));
+    entry.set("attempts",
+              obs::Json::number(static_cast<long long>(job.attempts)));
+    obs::Json history = obs::Json::array();
+    for (const AttemptRecord& record : job.history) {
+      obs::Json attempt = obs::Json::object();
+      attempt.set("attempt",
+                  obs::Json::number(static_cast<long long>(record.attempt)));
+      attempt.set("outcome", obs::Json::string(record.outcome));
+      if (!record.code.empty()) {
+        attempt.set("code", obs::Json::string(record.code));
+      }
+      attempt.set("exit",
+                  obs::Json::number(static_cast<long long>(record.exit_code)));
+      attempt.set("signal",
+                  obs::Json::number(static_cast<long long>(record.signal)));
+      if (!record.detail.empty()) {
+        attempt.set("detail", obs::Json::string(record.detail));
+      }
+      history.push(attempt);
+    }
+    entry.set("history", history);
+    jobs.push(entry);
+  }
+  obs::Json farm = obs::Json::object();
+  farm.set("workers",
+           obs::Json::number(static_cast<long long>(state.header.workers)));
+  farm.set("max_attempts", obs::Json::number(static_cast<long long>(
+                               state.header.max_attempts)));
+  farm.set("interrupted", obs::Json::boolean(outcome.interrupted));
+  farm.set("resumed", obs::Json::boolean(state.took_over));
+  farm.set("jobs", jobs);
+  obs::Json extra = obs::Json::object();
+  extra.set("farm", farm);
+  manifest.extra = std::move(extra);
+
+  obs::gauge("farm.jobs", static_cast<double>(outcome.jobs));
+  obs::gauge("farm.failed", static_cast<double>(outcome.failed));
+  obs::gauge("farm.degraded", static_cast<double>(outcome.degraded));
+  obs::gauge("farm.runtime_s", outcome.runtime_s);
+  obs::write_manifest_into(dir, manifest, /*include_metrics=*/true);
+}
+
+/// Writes the terminal-failure artifact for a job whose attempts are
+/// exhausted: the batch "failed job" manifest shape (extra.error, exit 4)
+/// so the tree stays batch-compatible even for jobs that only ever
+/// crashed and never wrote a manifest themselves.
+void write_failure_artifact(const std::string& dir, const JobProgress& job,
+                            const AttemptRecord& record) {
+  obs::RunManifest manifest;
+  obs::Json extra = obs::Json::object();
+  extra.set("label", obs::Json::string(job.label));
+  std::string error = record.code.empty() ? std::string("FP-INTERNAL")
+                                          : record.code;
+  error += ": " + (record.detail.empty() ? "attempt failed" : record.detail);
+  error += " (after " + std::to_string(job.attempts) + " attempt(s))";
+  extra.set("error", obs::Json::string(error));
+  manifest.exit_code = 4;
+  manifest.extra = std::move(extra);
+  write_job_artifact(dir, std::move(manifest));
+}
+
+/// The supervisor proper: launch/poll/reap until every job is terminal
+/// or a drain empties the in-flight set.
+FarmOutcome run_supervisor(const std::string& exe, FarmJournal& journal) {
+  const Timer wall;
+  const FarmHeader& header = journal.state().header;
+  sig::install_graceful();
+  obs::set_metrics_enabled(true);
+
+  fs::create_directories(journal.dir() + "/logs");
+  fs::create_directories(journal.dir() + "/hb");
+
+  std::deque<PendingJob> pending;
+  for (std::size_t i = 0; i < journal.state().jobs.size(); ++i) {
+    if (journal.state().jobs[i].state == JobProgress::State::Pending) {
+      pending.push_back(PendingJob{Clock::now(), static_cast<int>(i)});
+    }
+  }
+  std::vector<Slot> slots;
+  bool draining = false;
+  bool hard_drain = false;
+
+  const auto spawn_job = [&](int job) {
+    const JobProgress& progress =
+        journal.state().jobs[static_cast<std::size_t>(job)];
+    Slot slot;
+    slot.job = job;
+    slot.attempt = progress.attempts + 1;
+    const std::string stem = journal.dir() + "/logs/job" +
+                             std::to_string(job) + ".attempt" +
+                             std::to_string(slot.attempt);
+    slot.stdout_path = stem + ".stdout";
+    slot.stderr_path = stem + ".stderr";
+    slot.heartbeat_path =
+        journal.dir() + "/hb/job" + std::to_string(job) + ".hb";
+    std::error_code ec;
+    fs::remove(slot.heartbeat_path, ec);  // stale mtime must not mask a hang
+
+    exec::SpawnOptions spawn;
+    spawn.argv = {exe,
+                  "farm",
+                  header.circuit,
+                  "--worker=1",
+                  "--jobs-file=" + header.jobs_file,
+                  "--job-index=" + std::to_string(job),
+                  "--job-out=" + job_dir(journal.dir(), job),
+                  "--heartbeat-file=" + slot.heartbeat_path};
+    spawn.argv.insert(spawn.argv.end(), header.base_flags.begin(),
+                      header.base_flags.end());
+    // Faults fire on the *first* attempt only: a retry of a crashed job
+    // must run clean or it would crash forever. The worker must also
+    // never inherit the supervisor's artifact/trace/progress plumbing.
+    if (slot.attempt == 1 && !header.fault_spec.empty()) {
+      spawn.set_env.emplace_back("FPKIT_FAULTS", header.fault_spec);
+    } else {
+      spawn.unset_env.emplace_back("FPKIT_FAULTS");
+    }
+    spawn.unset_env.emplace_back("FPKIT_ARTIFACT_DIR");
+    spawn.unset_env.emplace_back("FPKIT_TRACE");
+    spawn.unset_env.emplace_back("FPKIT_PROGRESS");
+    spawn.stdout_path = slot.stdout_path;
+    spawn.stderr_path = slot.stderr_path;
+
+    journal.record_start(job, slot.attempt);
+    slot.child = exec::Child::spawn(spawn);
+    slot.started = Timer();
+    slots.push_back(std::move(slot));
+  };
+
+  const auto handle_done = [&](const Slot& slot,
+                               const exec::ExitStatus& status) {
+    const AttemptRecord record = classify(slot, status);
+    journal.record_done(slot.job, record);
+    if (record.outcome == "crash") obs::count("farm.crashes");
+    if (record.outcome == "timeout") obs::count("farm.timeouts");
+    // A crashed publish can leave the job's half-written artifact staging
+    // directory behind; clear it so the tree holds whole artifacts only.
+    std::error_code ec;
+    fs::remove_all(job_dir(journal.dir(), slot.job) + ".tmp-partial", ec);
+
+    const JobProgress& progress =
+        journal.state().jobs[static_cast<std::size_t>(slot.job)];
+    const std::string& label = progress.label;
+    if (progress.state == JobProgress::State::Done) {
+      std::printf("farm: job %d (%s) %s  [attempt %d, %.2fs]\n", slot.job,
+                  label.c_str(), progress.degraded ? "degraded" : "ok",
+                  record.attempt, slot.started.seconds());
+      return;
+    }
+    if (progress.state == JobProgress::State::Failed) {
+      write_failure_artifact(job_dir(journal.dir(), slot.job), progress,
+                             record);
+      std::fprintf(stderr,
+                   "farm: job %d (%s) FAILED after %d attempt(s): %s %s\n",
+                   slot.job, label.c_str(), progress.attempts,
+                   record.code.c_str(), record.detail.c_str());
+      return;
+    }
+    // Pending again: a retryable failure or an interrupted attempt.
+    if (draining) return;  // --resume picks it up later
+    if (record.outcome == "interrupted") {
+      pending.push_back(PendingJob{Clock::now(), slot.job});
+      return;
+    }
+    const long long delay_ms =
+        backoff_delay_ms(header.backoff_seed, slot.job, record.attempt,
+                         header.retry_base_ms);
+    journal.record_retry(slot.job, progress.attempts + 1, delay_ms);
+    obs::count("farm.retries");
+    std::fprintf(stderr,
+                 "farm: job %d (%s) attempt %d %s (%s); retrying in "
+                 "%lld ms\n",
+                 slot.job, label.c_str(), record.attempt,
+                 record.outcome.c_str(), record.code.c_str(), delay_ms);
+    pending.push_back(
+        PendingJob{Clock::now() + std::chrono::milliseconds(delay_ms),
+                   slot.job});
+  };
+
+  while (true) {
+    // Signal edge: first signal drains, second hard-kills the stragglers.
+    if (sig::interrupted() && !draining) {
+      draining = true;
+      journal.record_marker("interrupted");
+      std::fprintf(stderr,
+                   "farm: interrupt received; draining %zu in-flight "
+                   "job(s), %zu left pending (exit code 5)\n",
+                   slots.size(), pending.size());
+    }
+    if (draining && !hard_drain && sig::received_count() >= 2) {
+      hard_drain = true;
+      for (Slot& slot : slots) {
+        if (!slot.killing) {
+          slot.child.kill(SIGKILL);
+          slot.killing = true;
+          slot.kill_reason = "drain";
+        }
+      }
+    }
+
+    // Launch phase: fill free slots with due pending jobs.
+    while (!draining && static_cast<int>(slots.size()) < header.workers) {
+      const auto due = std::find_if(
+          pending.begin(), pending.end(),
+          [](const PendingJob& p) { return p.ready_at <= Clock::now(); });
+      if (due == pending.end()) break;
+      const int job = due->job;
+      pending.erase(due);
+      spawn_job(job);
+    }
+
+    // Reap phase; also enforce wall/heartbeat caps on the still-running.
+    for (std::size_t i = 0; i < slots.size();) {
+      Slot& slot = slots[i];
+      exec::ExitStatus status;
+      if (slot.child.try_wait(status)) {
+        handle_done(slot, status);
+        slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      const double elapsed = slot.started.seconds();
+      if (!slot.killing && header.job_timeout_s > 0.0 &&
+          elapsed > header.job_timeout_s) {
+        slot.child.kill(SIGKILL);
+        slot.killing = true;
+        slot.kill_reason = "timeout";
+      } else if (!slot.killing && header.hang_timeout_s > 0.0 &&
+                 elapsed > header.hang_timeout_s &&
+                 heartbeat_age_s(slot.heartbeat_path, elapsed) >
+                     header.hang_timeout_s) {
+        slot.child.kill(SIGKILL);
+        slot.killing = true;
+        slot.kill_reason = "hang";
+      }
+      ++i;
+    }
+
+    if (slots.empty() && (draining || pending.empty())) break;
+    std::this_thread::sleep_for(kPollInterval);
+  }
+
+  const FarmOutcome outcome =
+      summarize(journal.state(), draining, wall.seconds());
+  if (!draining && !journal.state().completed &&
+      outcome.done + outcome.failed == outcome.jobs) {
+    journal.record_marker("farm_done");
+  }
+  publish_manifest(journal.dir(), journal, outcome, wall.seconds());
+  journal.release_lock();
+  return outcome;
+}
+
+}  // namespace
+
+FarmOutcome run_farm(const FarmOptions& options) {
+  require(!options.exe.empty(), "run_farm: empty worker executable path");
+  FarmJournal journal = FarmJournal::create(options.dir, options.header);
+  return run_supervisor(options.exe, journal);
+}
+
+FarmOutcome resume_farm(const std::string& exe, const std::string& dir) {
+  require(!exe.empty(), "resume_farm: empty worker executable path");
+  FarmJournal journal = FarmJournal::resume(dir);
+  return run_supervisor(exe, journal);
+}
+
+}  // namespace fp::farm

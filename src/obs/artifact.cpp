@@ -160,8 +160,9 @@ void capture_environment(RunManifest& manifest) {
     }
   }
   for (const fault::SiteStatus& site : fault::status()) {
-    manifest.faults.push_back(ManifestFault{site.site, site.after, site.times,
-                                            site.hits, site.fired});
+    manifest.faults.push_back(
+        ManifestFault{site.site, site.after, site.times, site.hits,
+                      site.fired, std::string(to_string(site.mode))});
   }
 #if defined(__unix__) || defined(__APPLE__)
   // Host block under extra: lets the dashboard normalise trends across
@@ -211,6 +212,7 @@ Json manifest_to_json(const RunManifest& manifest) {
     entry.set("times", Json::number(fault.times));
     entry.set("hits", Json::number(fault.hits));
     entry.set("fired", Json::number(fault.fired));
+    entry.set("mode", Json::string(fault.mode));
     faults.push(std::move(entry));
   }
   Json fault_block = Json::object();
@@ -277,12 +279,18 @@ RunManifest manifest_from_json(const Json& doc) {
   if (const Json* faults = doc.find("faults")) {
     manifest.fault_spec = faults->at("spec").as_string();
     for (const Json& entry : faults->at("sites").items()) {
-      manifest.faults.push_back(ManifestFault{
+      ManifestFault fault{
           entry.at("site").as_string(),
           static_cast<long long>(entry.at("after").as_number()),
           static_cast<long long>(entry.at("times").as_number()),
           static_cast<long long>(entry.at("hits").as_number()),
-          static_cast<long long>(entry.at("fired").as_number())});
+          static_cast<long long>(entry.at("fired").as_number()),
+          "throw"};
+      // Pre-mode manifests omit the field (forward compatibility).
+      if (const Json* mode = entry.find("mode")) {
+        fault.mode = mode->as_string();
+      }
+      manifest.faults.push_back(std::move(fault));
     }
   }
   if (const Json* options = doc.find("options")) manifest.options = *options;
@@ -343,6 +351,34 @@ void write_run_artifact(const std::string& dir, const RunManifest& manifest,
   if (ec) {
     throw IoError("write_run_artifact: cannot publish '" + target.string() +
                   "': " + ec.message());
+  }
+}
+
+void write_manifest_into(const std::string& dir, const RunManifest& manifest,
+                         bool include_metrics) {
+  require(!dir.empty(), "write_manifest_into: empty directory path");
+  const fs::path base(dir);
+  std::error_code ec;
+  fs::create_directories(base, ec);
+  if (ec) {
+    throw IoError("write_manifest_into: cannot create '" + base.string() +
+                  "': " + ec.message());
+  }
+  // Per-file atomicity: a reader sees the previous manifest or the new
+  // one, never a torn write, while sibling files (jobs/, journal) stay
+  // untouched.
+  const auto publish = [&](const char* name, const std::string& text) {
+    const fs::path tmp = base / (std::string(name) + ".tmp-partial");
+    write_text_file(tmp, text);
+    fs::rename(tmp, base / name, ec);
+    if (ec) {
+      throw IoError("write_manifest_into: cannot publish '" +
+                    (base / name).string() + "': " + ec.message());
+    }
+  };
+  publish("manifest.json", manifest_to_json(manifest).dump());
+  if (include_metrics) {
+    publish("metrics.json", MetricsRegistry::global().to_json());
   }
 }
 

@@ -64,6 +64,7 @@ struct ManifestFault {
   long long times = 1;
   long long hits = 0;
   long long fired = 0;
+  std::string mode = "throw";  // "throw" or "abort" (util/faultpoint.h)
 };
 
 /// Everything manifest.json records about one run. The flow-specific
@@ -106,6 +107,14 @@ void capture_environment(RunManifest& manifest);
 void write_run_artifact(const std::string& dir, const RunManifest& manifest,
                         bool include_metrics = true,
                         bool include_trace = true);
+
+/// In-place variant for incrementally grown artifact trees (the batch
+/// farm, src/farm/): writes manifest.json -- and metrics.json when asked
+/// -- *into* `dir` (created if missing) through a tmp file + rename per
+/// file, without replacing the directory, so an existing jobs/ subtree
+/// and journal survive. Throws IoError on any filesystem failure.
+void write_manifest_into(const std::string& dir, const RunManifest& manifest,
+                         bool include_metrics = false);
 
 /// Reads `dir`/manifest.json (required) and `dir`/metrics.json (optional,
 /// empty registry when absent). Throws IoError / InvalidArgument on a

@@ -14,10 +14,19 @@
 // total-run budget caps every stage while a per-stage budget can only
 // shrink the window further. Budget semantics are documented in
 // docs/ROBUSTNESS.md.
+//
+// A token can additionally be *interrupt-linked*
+// (`set_interrupt_linked`): it then also expires once the process has
+// received SIGINT/SIGTERM (util/signal.h). That is how `fpkit run`,
+// `batch` and the farm workers turn an operator interrupt into the same
+// keep-best-so-far degrade path a budget expiry takes -- children
+// inherit the link, so one flag at the run token covers every stage.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+
+#include "util/signal.h"
 
 namespace fp {
 
@@ -28,11 +37,13 @@ class CancelToken {
 
   CancelToken(const CancelToken& other)
       : has_deadline_(other.has_deadline_),
+        interrupt_linked_(other.interrupt_linked_),
         cancelled_(other.cancelled_.load(std::memory_order_relaxed)),
         deadline_(other.deadline_) {}
 
   CancelToken& operator=(const CancelToken& other) {
     has_deadline_ = other.has_deadline_;
+    interrupt_linked_ = other.interrupt_linked_;
     cancelled_.store(other.cancelled_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     deadline_ = other.deadline_;
@@ -54,6 +65,7 @@ class CancelToken {
   [[nodiscard]] CancelToken child(double seconds) const {
     if (seconds <= 0.0) return *this;
     CancelToken token = CancelToken::after_seconds(seconds);
+    token.interrupt_linked_ = interrupt_linked_;
     token.cancelled_.store(cancelled_.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
     if (has_deadline_ && deadline_ < token.deadline_) {
@@ -66,22 +78,35 @@ class CancelToken {
   /// while pool workers poll expired().
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
-  /// True when cancelled or past the deadline. Cheap enough for
-  /// every-few-iterations polling (one clock read).
+  /// Links this token (and every child derived from it afterwards) to
+  /// the process-wide SIGINT/SIGTERM flag: expired() then also fires
+  /// once sig::interrupted() is true. Off by default so library callers
+  /// keep full control of signal semantics.
+  void set_interrupt_linked(bool linked) { interrupt_linked_ = linked; }
+
+  [[nodiscard]] bool interrupt_linked() const { return interrupt_linked_; }
+
+  /// True when cancelled, interrupted (if linked), or past the deadline.
+  /// Cheap enough for every-few-iterations polling (one clock read, and
+  /// none at all for undeadlined tokens).
   [[nodiscard]] bool expired() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (interrupt_linked_ && sig::interrupted()) return true;
     return has_deadline_ && Clock::now() >= deadline_;
   }
 
-  /// True when this token can ever expire (deadline set or cancelled);
-  /// loops may skip the clock read entirely for unlimited tokens.
+  /// True when this token can ever expire (deadline set, cancelled, or
+  /// interrupt-linked); loops may skip the clock read entirely for
+  /// unlimited tokens.
   [[nodiscard]] bool limited() const {
-    return has_deadline_ || cancelled_.load(std::memory_order_relaxed);
+    return has_deadline_ || interrupt_linked_ ||
+           cancelled_.load(std::memory_order_relaxed);
   }
 
   /// Seconds until expiry; 0 when expired, a large value when unlimited.
   [[nodiscard]] double remaining_s() const {
     if (cancelled_.load(std::memory_order_relaxed)) return 0.0;
+    if (interrupt_linked_ && sig::interrupted()) return 0.0;
     if (!has_deadline_) return 1e30;
     const double left =
         std::chrono::duration<double>(deadline_ - Clock::now()).count();
@@ -91,6 +116,7 @@ class CancelToken {
  private:
   using Clock = std::chrono::steady_clock;
   bool has_deadline_ = false;
+  bool interrupt_linked_ = false;
   std::atomic<bool> cancelled_{false};
   Clock::time_point deadline_{};
 };

@@ -28,6 +28,8 @@ enum class ErrorCode {
   Check,         // FP-CHECK   : a stage-gate design-rule check failed
   Solver,        // FP-SOLVER  : every solver backend diverged
   FaultInjected, // FP-FAULT   : a deterministic fault-injection site fired
+  Crash,         // FP-CRASH   : a worker process died on a signal (farm)
+  Timeout,       // FP-TIMEOUT : a worker exceeded its wall/heartbeat cap
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) {
@@ -44,6 +46,10 @@ enum class ErrorCode {
       return "FP-SOLVER";
     case ErrorCode::FaultInjected:
       return "FP-FAULT";
+    case ErrorCode::Crash:
+      return "FP-CRASH";
+    case ErrorCode::Timeout:
+      return "FP-TIMEOUT";
   }
   return "FP-UNKNOWN";
 }

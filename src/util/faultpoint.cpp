@@ -1,5 +1,6 @@
 #include "util/faultpoint.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -19,6 +20,7 @@ struct ArmedSite {
   long long times = 1;  // 0 = unlimited
   long long hits = 0;
   long long fired = 0;
+  FireMode mode = FireMode::Throw;
 };
 
 struct Registry {
@@ -86,6 +88,17 @@ void arm(std::string_view spec) {
         saw_after = true;
       } else if (starts_with(parts[i], "times=")) {
         armed.times = parse_field(parts[i], "times", trimmed);
+      } else if (starts_with(parts[i], "mode=")) {
+        const std::string_view mode =
+            std::string_view(parts[i]).substr(5);
+        if (mode == "throw") {
+          armed.mode = FireMode::Throw;
+        } else if (mode == "abort") {
+          armed.mode = FireMode::Abort;
+        } else {
+          throw InvalidArgument("fault::arm: mode must be throw or abort in '" +
+                                std::string(trimmed) + "'");
+        }
       } else {
         throw InvalidArgument("fault::arm: unknown field '" + parts[i] +
                               "' in '" + std::string(trimmed) + "'");
@@ -118,22 +131,35 @@ std::vector<SiteStatus> status() {
   out.reserve(reg.sites.size());
   for (const auto& [site, armed] : reg.sites) {
     out.push_back(SiteStatus{site, armed.after, armed.times, armed.hits,
-                             armed.fired});
+                             armed.fired, armed.mode});
   }
   return out;
 }
 
 bool triggered(std::string_view site) {
   if (!enabled()) return false;
-  Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
-  const auto it = reg.sites.find(site);
-  if (it == reg.sites.end()) return false;
-  ArmedSite& armed = it->second;
-  ++armed.hits;
-  if (armed.hits < armed.after) return false;
-  if (armed.times != 0 && armed.fired >= armed.times) return false;
-  ++armed.fired;
+  FireMode mode = FireMode::Throw;
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return false;
+    ArmedSite& armed = it->second;
+    ++armed.hits;
+    if (armed.hits < armed.after) return false;
+    if (armed.times != 0 && armed.fired >= armed.times) return false;
+    ++armed.fired;
+    mode = armed.mode;
+  }
+  if (mode == FireMode::Abort) {
+    // The hard-crash drill: die exactly the way a segfaulting or
+    // sanitizer-tripped worker would, after one best-effort stderr line
+    // so a captured stderr tail identifies the site.
+    std::fprintf(stderr, "fpkit: injected abort at fault site '%.*s'\n",
+                 static_cast<int>(site.size()), site.data());
+    std::fflush(stderr);
+    std::abort();
+  }
   return true;
 }
 

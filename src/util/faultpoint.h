@@ -20,6 +20,12 @@
 //                               throwing (solver divergence, SA abort,
 //                               router pass abort).
 //
+// A site armed with `:mode=abort` escalates both styles to a hard
+// `std::abort()` at the fault site -- the process dies on SIGABRT like a
+// real segfaulting or sanitizer-tripped worker would, which is how the
+// batch farm's crash containment (src/farm/) is tested deterministically.
+// The default `mode=throw` keeps the recoverable behaviour above.
+//
 // Arm via the FPKIT_FAULTS environment variable or `fpkit --inject`;
 // the site catalog lives in docs/ROBUSTNESS.md.
 #pragma once
@@ -54,7 +60,17 @@ class FaultInjected : public Error {
 /// arm() rejects names outside it so typos surface immediately.
 [[nodiscard]] const std::vector<std::string_view>& registered_sites();
 
-/// Arms sites from a spec "site:after=N[:times=M][,site:after=N...]".
+/// How an armed site fires: `Throw` (the default) raises FaultInjected /
+/// reports triggered(); `Abort` calls std::abort() at the site, killing
+/// the process the way a real crash would.
+enum class FireMode { Throw, Abort };
+
+[[nodiscard]] constexpr std::string_view to_string(FireMode mode) {
+  return mode == FireMode::Abort ? "abort" : "throw";
+}
+
+/// Arms sites from a spec
+/// "site:after=N[:times=M][:mode=throw|abort][,site:after=N...]".
 /// N >= 1 counts passes through the site; M >= 0 counts firings (default
 /// 1, 0 = unlimited). Throws InvalidArgument on unknown sites or
 /// malformed specs. Arming is cumulative; re-arming a site resets it.
@@ -73,6 +89,7 @@ struct SiteStatus {
   long long times = 1;  // firing quota, 0 = unlimited
   long long hits = 0;   // passes observed so far
   long long fired = 0;  // firings so far
+  FireMode mode = FireMode::Throw;
 };
 
 [[nodiscard]] std::vector<SiteStatus> status();

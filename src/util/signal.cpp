@@ -1,0 +1,52 @@
+#include "util/signal.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace fp::sig {
+
+namespace {
+
+// The handler may only touch lock-free atomics / sig_atomic_t. Both the
+// signum and the count are relaxed: readers poll, they never synchronise
+// other state through these.
+std::atomic<int> g_signum{0};
+std::atomic<int> g_count{0};
+
+extern "C" void graceful_handler(int signum) { request_cancel(signum); }
+
+}  // namespace
+
+void install_graceful() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction action {};
+  action.sa_handler = graceful_handler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocking read in a drain loop should wake up and
+  // notice the flag instead of sleeping through the interrupt.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#else
+  std::signal(SIGINT, graceful_handler);
+  std::signal(SIGTERM, graceful_handler);
+#endif
+}
+
+void request_cancel(int signum) {
+  g_signum.store(signum, std::memory_order_relaxed);
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+int received() { return g_signum.load(std::memory_order_relaxed); }
+
+int received_count() { return g_count.load(std::memory_order_relaxed); }
+
+bool interrupted() { return received_count() > 0; }
+
+void reset() {
+  g_signum.store(0, std::memory_order_relaxed);
+  g_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fp::sig

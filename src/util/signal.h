@@ -1,0 +1,51 @@
+// Graceful SIGINT/SIGTERM handling (docs/ROBUSTNESS.md).
+//
+// fpkit runs unattended inside CI loops and batch farms, so an operator
+// interrupt must behave like any other degrade path: every in-flight
+// stage keeps its best-so-far state, artifacts and journals are flushed,
+// and the process exits with the documented interrupt code (5) instead
+// of dying mid-write. The mechanism is a process-wide flag:
+//
+//   * install_graceful() registers handlers for SIGINT and SIGTERM that
+//     record the signal number in a volatile sig_atomic_t -- the only
+//     thing an async handler may safely do.
+//   * interrupted()/received() are polled from ordinary code: the CLI
+//     drain loops, the farm supervisor, and -- through
+//     CancelToken::set_interrupt_linked (util/cancel.h) -- every
+//     budget-style cooperative cancellation point in the flow (SA steps,
+//     solver iterations, router passes).
+//   * A second signal while draining is visible via received_count(), so
+//     supervisors can escalate from "finish in-flight work" to "kill it
+//     now" when the operator insists.
+//
+// Nothing here is installed by default: libraries never change process
+// signal disposition behind a caller's back. The CLI (and the farm
+// supervisor/worker) opt in explicitly; tests drive the same paths by
+// calling request_cancel() directly instead of raising real signals.
+#pragma once
+
+namespace fp::sig {
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent). Only entry points
+/// that own the process (the CLI, the farm supervisor) call this.
+void install_graceful();
+
+/// What the handler does: records `signum` and bumps the counter. Safe
+/// to call from tests and from ordinary code to simulate an interrupt.
+void request_cancel(int signum);
+
+/// Last signal recorded (0 = none). Reset with reset().
+[[nodiscard]] int received();
+
+/// Number of interrupt signals recorded since the last reset(); lets a
+/// drain loop escalate on the second Ctrl-C.
+[[nodiscard]] int received_count();
+
+/// True once any interrupt signal was recorded.
+[[nodiscard]] bool interrupted();
+
+/// Clears the recorded signal state (tests; a supervisor restarting its
+/// accept loop after a handled drain).
+void reset();
+
+}  // namespace fp::sig

@@ -361,5 +361,33 @@ TEST(BatchJobsFile, RejectsMalformedInput) {
                IoError);
 }
 
+TEST(BatchJobsFile, RejectsDuplicateLabelsWithBothLineNumbers) {
+  FlowOptions base;
+  // Two jobs sharing a label would collide in jobs/job<i> attribution
+  // and make farm resume ambiguous; the error names both lines.
+  try {
+    (void)load_batch_jobs(write_jobs_file("jobs_dup.txt",
+                                          "same method=dfa seed=1\n"
+                                          "# comment lines keep numbering\n"
+                                          "same method=dfa seed=2\n"),
+                          base);
+    FAIL() << "duplicate labels must be rejected";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("duplicate job label 'same'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+  // Generated labels (method/seed cross-product convention) collide the
+  // same way explicit ones do.
+  EXPECT_THROW((void)load_batch_jobs(
+                   write_jobs_file("jobs_dup_generated.txt",
+                                   "method=dfa seed=5\n"
+                                   "method=dfa seed=5\n"),
+                   base),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace fp

@@ -5,11 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <csignal>
 #include <cstddef>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "exec/exec.h"
+#include "exec/subprocess.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -251,6 +256,94 @@ TEST(ExecObservability, SpansNestCorrectlyOnWorkerThreads) {
   EXPECT_EQ(outer, 16);
   EXPECT_EQ(inner, 16);
   obs::reset_trace();
+}
+
+// --- subprocess primitives (exec/subprocess.h, the farm's substrate) ----
+
+TEST(Subprocess, CapturesExitCodeAndRedirectsStdio) {
+  const std::string out = ::testing::TempDir() + "subproc_stdout.txt";
+  const std::string err = ::testing::TempDir() + "subproc_stderr.txt";
+  exec::SpawnOptions options;
+  options.argv = {"/bin/sh", "-c", "echo to-stdout; echo to-stderr 1>&2; exit 7"};
+  options.stdout_path = out;
+  options.stderr_path = err;
+  exec::Child child = exec::Child::spawn(options);
+  EXPECT_GT(child.pid(), 0);
+  const exec::ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 7);
+  EXPECT_EQ(status.to_string(), "exit 7");
+  EXPECT_NE(exec::read_tail(out, 4096).find("to-stdout"), std::string::npos);
+  EXPECT_NE(exec::read_tail(err, 4096).find("to-stderr"), std::string::npos);
+}
+
+TEST(Subprocess, TryWaitIsNonBlockingAndIdempotent) {
+  exec::SpawnOptions options;
+  options.argv = {"/bin/sh", "-c", "exit 0"};
+  exec::Child child = exec::Child::spawn(options);
+  exec::ExitStatus status;
+  while (!child.try_wait(status)) {
+    // Non-blocking: spin until the child is reaped.
+  }
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 0);
+  EXPECT_FALSE(child.running());
+  // Reaped exactly once; later calls replay the stored status.
+  exec::ExitStatus again;
+  EXPECT_TRUE(child.try_wait(again));
+  EXPECT_TRUE(again.exited);
+  EXPECT_EQ(again.code, 0);
+}
+
+TEST(Subprocess, SignalDeathIsDistinguishedFromNormalExit) {
+  exec::SpawnOptions options;
+  options.argv = {"/bin/sh", "-c", "sleep 30"};
+  exec::Child child = exec::Child::spawn(options);
+  child.kill(SIGKILL);
+  const exec::ExitStatus status = child.wait();
+  EXPECT_FALSE(status.exited)
+      << "a killed worker must be classifiable as a crash, not an exit";
+  EXPECT_EQ(status.signal, SIGKILL);
+  EXPECT_NE(status.to_string().find("SIGKILL"), std::string::npos);
+}
+
+TEST(Subprocess, SetAndUnsetEnvReachTheChild) {
+  const std::string out = ::testing::TempDir() + "subproc_env.txt";
+  exec::SpawnOptions options;
+  options.argv = {"/bin/sh", "-c", "echo \"${FPKIT_SUBPROC_TEST:-absent}\""};
+  options.set_env = {{"FPKIT_SUBPROC_TEST", "present"}};
+  options.stdout_path = out;
+  EXPECT_TRUE(exec::Child::spawn(options).wait().exited);
+  EXPECT_NE(exec::read_tail(out, 256).find("present"), std::string::npos);
+  // unset_env is how a retry attempt sheds the supervisor's FPKIT_FAULTS.
+  ::setenv("FPKIT_SUBPROC_TEST", "leaked", 1);
+  options.set_env.clear();
+  options.unset_env = {"FPKIT_SUBPROC_TEST"};
+  EXPECT_TRUE(exec::Child::spawn(options).wait().exited);
+  ::unsetenv("FPKIT_SUBPROC_TEST");
+  EXPECT_NE(exec::read_tail(out, 256).find("absent"), std::string::npos);
+}
+
+TEST(Subprocess, ExecFailureSurfacesAsExit127) {
+  exec::SpawnOptions options;
+  options.argv = {"/no/such/binary/anywhere"};
+  exec::Child child = exec::Child::spawn(options);
+  const exec::ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 127);
+}
+
+TEST(Subprocess, ReadTailBoundsAndMarksTruncation) {
+  const std::string path = ::testing::TempDir() + "subproc_tail.txt";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    for (int i = 0; i < 500; ++i) out << "line " << i << "\n";
+  }
+  const std::string tail = exec::read_tail(path, 128);
+  EXPECT_EQ(tail.rfind("...(truncated)", 0), 0u);
+  EXPECT_LE(tail.size(), 128u + std::string("...(truncated)").size());
+  EXPECT_NE(tail.find("line 499"), std::string::npos);
+  EXPECT_TRUE(exec::read_tail("/no/such/tail/file", 128).empty());
 }
 
 }  // namespace

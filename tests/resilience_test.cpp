@@ -8,8 +8,10 @@
 // bit-identical to a build without the hooks.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/check.h"
 #include "codesign/flow.h"
@@ -21,6 +23,7 @@
 #include "util/cancel.h"
 #include "util/error.h"
 #include "util/faultpoint.h"
+#include "util/signal.h"
 
 namespace fp {
 namespace {
@@ -172,6 +175,26 @@ TEST_F(ResilienceTest, AfterAndTimesCountPassesDeterministically) {
   EXPECT_FALSE(fault::triggered("router.pass"));
 }
 
+TEST_F(ResilienceTest, AbortModeParsesAndReportsInStatus) {
+  // mode=abort is how the farm tests kill a worker the way a real crash
+  // would; firing it in-process would take the test runner down, so the
+  // unit test stops at parse/status and the end-to-end firing lives in
+  // tests/farm_test.cpp.
+  fault::arm("sa.step:after=2:times=3:mode=abort");
+  std::vector<fault::SiteStatus> sites = fault::status();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites.front().mode, fault::FireMode::Abort);
+  EXPECT_EQ(fault::to_string(sites.front().mode), "abort");
+  fault::disarm();
+  fault::arm("sa.step:after=1:mode=throw");
+  sites = fault::status();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites.front().mode, fault::FireMode::Throw);
+  fault::disarm();
+  EXPECT_THROW(fault::arm("sa.step:after=1:mode=segfault"), InvalidArgument);
+  EXPECT_THROW(fault::arm("sa.step:after=1:mode="), InvalidArgument);
+}
+
 TEST_F(ResilienceTest, DisarmedSitesAreInert) {
   EXPECT_FALSE(fault::enabled());
   for (const std::string_view site : fault::registered_sites()) {
@@ -299,6 +322,45 @@ TEST_F(ResilienceTest, ExpiredBudgetRunsAreDeterministicAndLegal) {
   // The summary and report advertise the degradation.
   const std::string summary = CodesignFlow::summary(package, first);
   EXPECT_NE(summary.find("DEGRADED"), std::string::npos) << summary;
+}
+
+TEST_F(ResilienceTest, InterruptibleRunKeepsBestSoFarAndSaysWhy) {
+  // An operator interrupt takes the same keep-best-so-far degrade path a
+  // budget expiry does: legal output, an attributed event, no throw.
+  sig::reset();
+  const Package package = make_package();
+  FlowOptions options = light_flow();
+  options.interruptible = true;
+  sig::request_cancel(SIGINT);
+  const FlowResult result = CodesignFlow(options).run(package);
+  sig::reset();
+  EXPECT_TRUE(result.degraded);
+  expect_legal(package, result.final);
+  bool attributed = false;
+  for (const DegradeEvent& event : result.degrade_events) {
+    attributed = attributed || event.reason == DegradeReason::Interrupted;
+  }
+  EXPECT_TRUE(attributed) << "the run must say it was interrupted";
+  EXPECT_EQ(std::string(to_string(DegradeReason::Interrupted)),
+            "interrupted");
+}
+
+TEST_F(ResilienceTest, NonInterruptibleRunIgnoresTheProcessFlag) {
+  // Library callers that did not opt in (options.interruptible=false,
+  // the default) must be untouched by a stray flag.
+  sig::reset();
+  const Package package = make_package();
+  const FlowOptions plain = light_flow();
+  const FlowResult reference = CodesignFlow(plain).run(package);
+  sig::request_cancel(SIGINT);
+  const FlowResult flagged = CodesignFlow(plain).run(package);
+  sig::reset();
+  EXPECT_FALSE(flagged.degraded);
+  ASSERT_EQ(reference.final.quadrants.size(), flagged.final.quadrants.size());
+  for (std::size_t qi = 0; qi < reference.final.quadrants.size(); ++qi) {
+    EXPECT_EQ(reference.final.quadrants[qi].order,
+              flagged.final.quadrants[qi].order);
+  }
 }
 
 TEST_F(ResilienceTest, UnsetBudgetMatchesUnbudgetedRun) {

@@ -1,16 +1,20 @@
-// Unit tests for the util module: rng, strings, cli, error helpers.
+// Unit tests for the util module: rng, strings, cli, error helpers,
+// signal flags and interrupt-linked cancellation.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <csignal>
 #include <numeric>
 #include <set>
 #include <vector>
 
+#include "util/cancel.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/signal.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -311,6 +315,57 @@ TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
   EXPECT_GE(a, 0.0);
   EXPECT_GE(b, a);
   EXPECT_GE(t.millis(), 0.0);
+}
+
+// ------------------------------------------------------------- signal ----
+
+/// Leaves the process-wide interrupt flag clean for whatever test runs
+/// next, pass or fail.
+class SignalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sig::reset(); }
+  void TearDown() override { sig::reset(); }
+};
+
+TEST_F(SignalTest, RequestCancelRecordsSignalAndCount) {
+  EXPECT_FALSE(sig::interrupted());
+  EXPECT_EQ(sig::received(), 0);
+  EXPECT_EQ(sig::received_count(), 0);
+  sig::request_cancel(SIGINT);
+  EXPECT_TRUE(sig::interrupted());
+  EXPECT_EQ(sig::received(), SIGINT);
+  EXPECT_EQ(sig::received_count(), 1);
+  // The second Ctrl-C is what lets a drain loop escalate.
+  sig::request_cancel(SIGTERM);
+  EXPECT_EQ(sig::received(), SIGTERM);
+  EXPECT_EQ(sig::received_count(), 2);
+  sig::reset();
+  EXPECT_FALSE(sig::interrupted());
+  EXPECT_EQ(sig::received(), 0);
+  EXPECT_EQ(sig::received_count(), 0);
+}
+
+TEST_F(SignalTest, InterruptLinkedTokenExpiresWithTheProcessFlag) {
+  CancelToken token;
+  token.set_interrupt_linked(true);
+  CancelToken plain;
+  EXPECT_FALSE(token.expired());
+  sig::request_cancel(SIGINT);
+  EXPECT_TRUE(token.expired());
+  EXPECT_FALSE(plain.expired())
+      << "only opted-in tokens may observe the interrupt";
+  sig::reset();
+  EXPECT_FALSE(token.expired());
+}
+
+TEST_F(SignalTest, ChildTokensInheritTheInterruptLink) {
+  CancelToken token;
+  token.set_interrupt_linked(true);
+  const CancelToken staged = token.child(3600.0);
+  EXPECT_FALSE(staged.expired());
+  sig::request_cancel(SIGTERM);
+  EXPECT_TRUE(staged.expired())
+      << "one flag at the run token must cover every stage";
 }
 
 }  // namespace

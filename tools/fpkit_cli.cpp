@@ -14,6 +14,10 @@
 //                  [--list-rules]
 //   fpkit batch    <circuit.fp> [--methods dfa,ifa,random] [--seeds 1,2,3]
 //                  [--jobs N] [--jobs-file jobs.txt] [...any run flag]
+//   fpkit farm     <circuit.fp> --jobs-file jobs.txt --out <dir>
+//                  [--workers N] [--max-attempts K] [--job-timeout S]
+//                  [--hang-timeout S] [--retry-base-ms M] [--backoff-seed S]
+//   fpkit farm     --resume <dir>
 //   fpkit compare  <runA> <runB> [--max-slowdown X] [--require-equal-cost]
 //
 // Parallelism (docs/PARALLELISM.md): --threads N (0 = all cores; env
@@ -48,8 +52,12 @@
 //   2  invalid input (bad flags, malformed circuit/assignment files)
 //   3  the flow finished but degraded (budget expiry, solver fallback...)
 //   4  internal error (broken invariant, exhausted solver chain, fault)
+//   5  interrupted (SIGINT/SIGTERM graceful drain; best-so-far artifacts
+//      were still flushed; a farm is resumable with --resume)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -63,6 +71,7 @@
 #include "codesign/flow.h"
 #include "codesign/report.h"
 #include "exec/exec.h"
+#include "farm/farm.h"
 #include "io/assignment_file.h"
 #include "io/circuit_file.h"
 #include "obs/artifact.h"
@@ -82,6 +91,7 @@
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/faultpoint.h"
+#include "util/signal.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -92,7 +102,7 @@ using namespace fp;
 int usage() {
   std::fprintf(stderr,
                "usage: fpkit <generate|info|run|route|ir|spice|check|batch|"
-               "compare|dash> [flags]\n"
+               "farm|compare|dash> [flags]\n"
                "  generate --table1 <1..5> [--tiers N] [--seed S] "
                "[--supply F] --out <file.fp>\n"
                "  info     <circuit.fp>\n"
@@ -117,6 +127,16 @@ int usage() {
                " [--seeds 1,2,3]\n"
                "           [--jobs N] [--jobs-file jobs.txt] [--mesh K]"
                " [...run flags]\n"
+               "  farm     <circuit.fp> --jobs-file jobs.txt --out <dir>"
+               " [--workers N]\n"
+               "           [--max-attempts K] [--job-timeout S]"
+               " [--hang-timeout S]\n"
+               "           [--retry-base-ms M] [--backoff-seed S]"
+               " [...run flags]\n"
+               "           crash-contained multi-process batch with a"
+               " resumable journal\n"
+               "  farm     --resume <dir>   finish an interrupted/killed"
+               " farm (docs/ROBUSTNESS.md)\n"
                "  compare  <runA> <runB> [--max-slowdown X]"
                " [--require-equal-cost] [--min-time S]\n"
                "  dash     <artifact-dir>... [--out dash.html] [--title T]\n"
@@ -143,7 +163,8 @@ int usage() {
                "  --inject <site:after=N[:times=M][,...]>  deterministic"
                " faults [env FPKIT_FAULTS]\n"
                "exit codes: 0 ok, 1 check violations, 2 invalid input, "
-               "3 degraded result, 4 internal error\n");
+               "3 degraded result, 4 internal error,\n"
+               "            5 interrupted (SIGINT/SIGTERM graceful drain)\n");
   return 2;
 }
 
@@ -197,12 +218,33 @@ FlowOptions flow_options(const ArgParser& args) {
   options.budget.total_s = args.get_double("budget", 0.0);
   options.budget.exchange_s = args.get_double("budget-exchange", 0.0);
   options.budget.analyze_s = args.get_double("budget-analyze", 0.0);
+  // Every CLI flow answers SIGINT/SIGTERM with a keep-best-so-far drain
+  // (docs/ROBUSTNESS.md). The flag is inert unless main() installed the
+  // graceful handler for this subcommand.
+  options.interruptible = true;
   return options;
 }
 
-/// 0 ok / 3 degraded, plus a stderr note so scripted callers notice.
+/// True when the run was cut short by SIGINT/SIGTERM (the graceful-drain
+/// degrade event CodesignFlow::run appends).
+bool flow_interrupted(const FlowResult& result) {
+  return std::any_of(result.degrade_events.begin(),
+                     result.degrade_events.end(),
+                     [](const DegradeEvent& event) {
+                       return event.reason == DegradeReason::Interrupted;
+                     });
+}
+
+/// 0 ok / 3 degraded / 5 interrupted, plus a stderr note so scripted
+/// callers notice.
 int flow_exit(const FlowResult& result) {
   if (!result.degraded) return 0;
+  if (flow_interrupted(result)) {
+    std::fprintf(stderr,
+                 "fpkit: interrupted; best-so-far results kept "
+                 "(exit code 5)\n");
+    return 5;
+  }
   std::fprintf(stderr,
                "fpkit: degraded result (%zu event(s); exit code 3)\n",
                result.degrade_events.size());
@@ -682,6 +724,15 @@ int cmd_batch(const ArgParser& args) {
                 job.result.ir_final.max_drop_v * 1e3,
                 job.result.bonding_final.omega, job.result.runtime_s);
   }
+  if (sig::interrupted()) {
+    // Graceful drain: in-flight jobs kept their best-so-far results and
+    // every artifact was still written; skipped jobs say so in their
+    // error text. Interruption outranks the failed/degraded codes.
+    std::fprintf(stderr,
+                 "fpkit: batch interrupted; artifacts flushed "
+                 "(exit code 5)\n");
+    return 5;
+  }
   if (batch.failed_count() > 0) {
     std::fprintf(stderr, "fpkit: %d batch job(s) failed (exit code 4)\n",
                  batch.failed_count());
@@ -692,6 +743,126 @@ int cmd_batch(const ArgParser& args) {
     return 3;
   }
   return 0;
+}
+
+/// The fpkit binary itself, for the farm's self-exec'd workers. argv[0]
+/// may be a bare "fpkit" found via PATH, so prefer the kernel's record.
+std::string g_argv0;
+
+std::string self_exe_path() {
+  std::error_code ec;
+  const std::filesystem::path exe =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return exe.string();
+  return g_argv0;
+}
+
+/// The base flow flags a farm supervisor forwards to every worker, in
+/// --flag=value form (value form keeps ArgParser from binding a bare
+/// flag to the next positional). Recorded in farm.json so --resume
+/// re-creates identical workers without re-parsing the original command
+/// line.
+std::vector<std::string> forwarded_flow_flags(const ArgParser& args) {
+  std::vector<std::string> flags;
+  for (const char* name :
+       {"method", "seed", "restarts", "mesh", "lambda", "rho", "phi",
+        "budget", "budget-exchange", "budget-analyze"}) {
+    if (args.has(name)) {
+      flags.push_back("--" + std::string(name) + "=" +
+                      args.get_string(name, ""));
+    }
+  }
+  if (args.has("no-exchange")) flags.push_back("--no-exchange=1");
+  return flags;
+}
+
+void print_farm_outcome(const farm::FarmOutcome& outcome,
+                        const std::string& dir) {
+  std::printf("farm: %zu job(s): %zu ok, %zu degraded, %zu failed | "
+              "%lld retrie(s), %lld crash(es), %lld timeout(s) | %.3f s\n",
+              outcome.jobs, outcome.done - outcome.degraded,
+              outcome.degraded, outcome.failed, outcome.retries,
+              outcome.crashes, outcome.timeouts, outcome.runtime_s);
+  std::printf("wrote farm artifact %s\n", dir.c_str());
+  if (outcome.interrupted) {
+    std::fprintf(stderr,
+                 "fpkit farm: interrupted; journal flushed -- finish with "
+                 "`fpkit farm --resume %s` (exit code 5)\n",
+                 dir.c_str());
+  } else if (outcome.failed > 0) {
+    std::fprintf(stderr, "fpkit farm: %zu job(s) failed (exit code 4)\n",
+                 outcome.failed);
+  } else if (outcome.degraded > 0) {
+    std::fprintf(stderr, "fpkit farm: degraded result (exit code 3)\n");
+  }
+}
+
+/// `fpkit farm`: the crash-contained multi-process batch
+/// (docs/ROBUSTNESS.md). Three entry modes share the subcommand: the
+/// supervisor (fresh farm), `--resume <dir>` (finish an interrupted or
+/// killed farm) and `--worker` (one self-exec'd job; internal).
+int cmd_farm(const ArgParser& args) {
+  if (args.has("worker")) {
+    farm::WorkerOptions worker;
+    require(!args.positional().empty(),
+            "farm --worker: missing circuit file argument");
+    worker.circuit = args.positional().front();
+    worker.jobs_file = args.get_string("jobs-file", "");
+    require(!worker.jobs_file.empty(),
+            "farm --worker: --jobs-file is required");
+    worker.job_index = static_cast<int>(args.get_int("job-index", -1));
+    worker.out_dir = args.get_string("job-out", "");
+    require(!worker.out_dir.empty(), "farm --worker: --job-out is required");
+    worker.heartbeat_path = args.get_string("heartbeat-file", "");
+    worker.base = flow_options(args);
+    return farm::run_farm_worker(worker);
+  }
+  if (args.has("resume")) {
+    const std::string dir = args.get_string("resume", "");
+    require(!dir.empty(), "farm: --resume needs the farm directory");
+    const farm::FarmOutcome outcome = farm::resume_farm(self_exe_path(), dir);
+    print_farm_outcome(outcome, dir);
+    return outcome.exit_code;
+  }
+
+  require(!args.positional().empty(), "farm: missing circuit file argument");
+  farm::FarmOptions options;
+  options.exe = self_exe_path();
+  options.dir = args.get_string("out", "");
+  require(!options.dir.empty(), "farm: --out <dir> is required");
+  farm::FarmHeader& header = options.header;
+  header.circuit = args.positional().front();
+  header.jobs_file = args.get_string("jobs-file", "");
+  require(!header.jobs_file.empty(), "farm: --jobs-file is required");
+  // Parse the jobs file up front: label list for the journal header, and
+  // any malformed line or duplicate label fails fast (exit 2) before a
+  // single worker is spawned.
+  const FlowOptions base = flow_options(args);
+  for (const BatchJob& job : load_batch_jobs(header.jobs_file, base)) {
+    header.labels.push_back(job.label);
+  }
+  header.workers = static_cast<int>(args.get_int("workers", 2));
+  require(header.workers >= 1, "farm: --workers must be >= 1");
+  header.max_attempts = static_cast<int>(args.get_int("max-attempts", 3));
+  require(header.max_attempts >= 1, "farm: --max-attempts must be >= 1");
+  header.job_timeout_s = args.get_double("job-timeout", 0.0);
+  header.hang_timeout_s = args.get_double("hang-timeout", 0.0);
+  header.retry_base_ms = args.get_int("retry-base-ms", 250);
+  require(header.retry_base_ms >= 0, "farm: --retry-base-ms must be >= 0");
+  header.backoff_seed =
+      static_cast<std::uint64_t>(args.get_int("backoff-seed", 1));
+  header.fault_spec = args.get_string("inject", "");
+  if (header.fault_spec.empty()) {
+    if (const char* env = std::getenv("FPKIT_FAULTS")) {
+      header.fault_spec = env;
+    }
+  }
+  header.base_flags = forwarded_flow_flags(args);
+  std::printf("farm: %zu job(s) across %d worker process(es) -> %s\n",
+              header.labels.size(), header.workers, options.dir.c_str());
+  const farm::FarmOutcome outcome = farm::run_farm(options);
+  print_farm_outcome(outcome, options.dir);
+  return outcome.exit_code;
 }
 
 /// `fpkit compare`: diff two run artifacts with the CI exit contract
@@ -826,6 +997,7 @@ int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "spice") return cmd_spice(args);
   if (command == "check") return cmd_check(args);
   if (command == "batch") return cmd_batch(args);
+  if (command == "farm") return cmd_farm(args);
   if (command == "compare") return cmd_compare(args);
   if (command == "dash") return cmd_dash(args);
   return usage();
@@ -856,9 +1028,10 @@ ObsPaths arm_observability(const ArgParser& args,
   }
   // The flight recorder wants the full flight: an armed artifact dir
   // turns on both metrics and tracing. `compare` and `dash` read
-  // artifacts rather than producing one, so they ignore an inherited
-  // FPKIT_ARTIFACT_DIR.
-  if (command != "compare" && command != "dash") {
+  // artifacts rather than producing one, and `farm` writes its own
+  // artifact tree into --out (its workers must not collide on an
+  // inherited dir either), so all three skip the generic recorder.
+  if (command != "compare" && command != "dash" && command != "farm") {
     g_artifact.dir = args.get_string("artifact-dir", "");
     if (g_artifact.dir.empty()) {
       if (const char* env = std::getenv("FPKIT_ARTIFACT_DIR")) {
@@ -926,6 +1099,8 @@ int exit_code_for(const fp::Error& error) {
     case ErrorCode::Check:
     case ErrorCode::Solver:
     case ErrorCode::FaultInjected:
+    case ErrorCode::Crash:
+    case ErrorCode::Timeout:
       return 4;
   }
   return 4;
@@ -937,7 +1112,15 @@ int main(int argc, char** argv) {
   const fp::Timer wall;
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  g_argv0 = argv[0];
   fp::obs::set_thread_name("main");
+  // Long-running flow subcommands drain gracefully on SIGINT/SIGTERM
+  // (keep best-so-far, flush artifacts, exit 5); everything else keeps
+  // the default kill-me-now disposition.
+  if (command == "run" || command == "plan" || command == "ir" ||
+      command == "batch" || command == "farm") {
+    fp::sig::install_graceful();
+  }
   ObsPaths obs_paths;
   try {
     const ArgParser args(argc - 1, argv + 1);
