@@ -63,10 +63,12 @@ inline ExchangeOptions standard_exchange(std::uint64_t seed = 7) {
 }
 
 /// Output directory for bench artefacts (CSV tables, SVG figures, JSON
-/// documents). Empty = the current working directory, the historical
-/// default; every bench binary accepts `--out <dir>` to redirect.
+/// documents). Defaults to bench/out/ relative to the invoking
+/// directory -- gitignored, created on first use -- so regenerated
+/// figures and tables never land in (and get committed at) the repo
+/// root; every bench binary accepts `--out <dir>` to redirect.
 inline std::string& artefact_dir() {
-  static std::string dir;
+  static std::string dir = "bench/out";
   return dir;
 }
 
@@ -81,10 +83,16 @@ inline void set_artefact_dir(const std::string& dir) {
   artefact_dir() = dir;
 }
 
-/// Resolves one output file name against the configured --out directory.
+/// Resolves one output file name against the configured --out directory,
+/// creating the directory on first use.
 inline std::string artefact_path(const std::string& name) {
   const std::string& dir = artefact_dir();
-  return dir.empty() ? name : dir + "/" + name;
+  if (dir.empty()) return name;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  require(!ec, "bench: cannot create output directory '" + dir + "': " +
+                   ec.message());
+  return dir + "/" + name;
 }
 
 /// Handles the common `--out <dir>` / `--out=<dir>` flag for the bench

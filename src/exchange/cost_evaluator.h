@@ -1,0 +1,49 @@
+// Abstract delta-path for the Eq.-(3) cost under adjacent finger swaps.
+//
+// Two consumers drive identical swap streams through one evaluator: the
+// SA loop in exchange.cpp and the interactive DesignSession of
+// src/session/. Both need the same contract -- apply a legal adjacent
+// swap, read the updated cost in O(log alpha), undo the most recent swap
+// -- so the contract lives here and IncrementalCost (incremental_cost.h)
+// is the canonical implementation behind make_incremental_evaluator().
+#pragma once
+
+#include <memory>
+
+#include "package/assignment.h"
+#include "package/package.h"
+
+namespace fp {
+
+class CostEvaluator {
+ public:
+  virtual ~CostEvaluator() = default;
+
+  /// Current Eq.-(3) value (Proxy IR mode).
+  [[nodiscard]] virtual double current() const = 0;
+
+  /// Individual terms, for tests and reporting.
+  [[nodiscard]] virtual double dispersion() const = 0;
+  [[nodiscard]] virtual int increased_density() const = 0;
+  [[nodiscard]] virtual int omega() const = 0;
+
+  /// Applies the swap of fingers (left, left+1) of `quadrant`; the caller
+  /// guarantees monotone legality (as in the optimizer's move filter).
+  virtual void apply_swap(int quadrant, int left_finger) = 0;
+
+  /// Reverts the most recent un-undone apply_swap (depth 1; an adjacent
+  /// swap is an involution, so deeper undo is re-applying the same swap).
+  virtual void undo_last() = 0;
+
+  /// The evolving order (for cross-checks).
+  [[nodiscard]] virtual const PackageAssignment& assignment() const = 0;
+};
+
+/// The canonical O(log alpha)-per-swap evaluator (IncrementalCost) on the
+/// Proxy-mode Eq.-(3) cost, scored against `initial` as the Eq.-(2)
+/// baseline.
+[[nodiscard]] std::unique_ptr<CostEvaluator> make_incremental_evaluator(
+    const Package& package, const PackageAssignment& initial, double lambda,
+    double rho, double phi);
+
+}  // namespace fp

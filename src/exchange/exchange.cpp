@@ -1,11 +1,12 @@
 #include "exchange/exchange.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "exec/exec.h"
-#include "exchange/incremental_cost.h"
+#include "exchange/cost_evaluator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -149,12 +150,15 @@ ExchangeResult ExchangeOptimizer::optimize(
   PackageAssignment current = initial;
   const IncreasedDensity id_tracker(*package_, initial);
 
-  // Proxy mode evaluates Eq. (3) incrementally (O(log alpha) per swap);
-  // Compact/Exact modes re-solve their IR term anyway.
-  std::optional<IncrementalCost> incremental;
+  // Proxy mode evaluates Eq. (3) incrementally (O(log alpha) per swap)
+  // through the shared CostEvaluator delta path (the same one the
+  // DesignSession of src/session/ drives); Compact/Exact modes re-solve
+  // their IR term anyway.
+  std::unique_ptr<CostEvaluator> incremental;
   if (options_.ir_mode == IrCostMode::Proxy) {
-    incremental.emplace(*package_, initial, options_.lambda, options_.rho,
-                        options_.phi);
+    incremental = make_incremental_evaluator(*package_, initial,
+                                             options_.lambda, options_.rho,
+                                             options_.phi);
   }
 
   // net -> (quadrant, finger) position index, maintained across swaps.

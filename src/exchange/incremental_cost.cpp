@@ -108,6 +108,13 @@ void IncrementalCost::undo_last() {
   last_ = LastSwap{};
 }
 
+std::unique_ptr<CostEvaluator> make_incremental_evaluator(
+    const Package& package, const PackageAssignment& initial, double lambda,
+    double rho, double phi) {
+  return std::make_unique<IncrementalCost>(package, initial, lambda, rho,
+                                           phi);
+}
+
 void IncrementalCost::swap_impl(int quadrant, int left_finger) {
   require(quadrant >= 0 && quadrant < package_->quadrant_count(),
           "IncrementalCost: quadrant out of range");

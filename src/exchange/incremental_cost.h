@@ -20,13 +20,14 @@
 #include <set>
 #include <vector>
 
+#include "exchange/cost_evaluator.h"
 #include "exchange/increased_density.h"
 #include "package/assignment.h"
 #include "package/package.h"
 
 namespace fp {
 
-class IncrementalCost {
+class IncrementalCost final : public CostEvaluator {
  public:
   /// `baseline` supplies the Eq.-(2) section loads of the initial
   /// assignment (the same object the optimizer scores against).
@@ -34,22 +35,22 @@ class IncrementalCost {
                   double lambda, double rho, double phi);
 
   /// Current Eq.-(3) value (Proxy IR mode).
-  [[nodiscard]] double current() const;
+  [[nodiscard]] double current() const override;
 
   /// Individual terms, for tests and reporting.
-  [[nodiscard]] double dispersion() const;
-  [[nodiscard]] int increased_density() const;
-  [[nodiscard]] int omega() const;
+  [[nodiscard]] double dispersion() const override;
+  [[nodiscard]] int increased_density() const override;
+  [[nodiscard]] int omega() const override;
 
   /// Applies the swap of fingers (left, left+1) of `quadrant`; the caller
   /// guarantees monotone legality (as in the optimizer's move filter).
-  void apply_swap(int quadrant, int left_finger);
+  void apply_swap(int quadrant, int left_finger) override;
 
   /// Reverts the most recent un-undone apply_swap.
-  void undo_last();
+  void undo_last() override;
 
   /// The evolving order (for cross-checks).
-  [[nodiscard]] const PackageAssignment& assignment() const {
+  [[nodiscard]] const PackageAssignment& assignment() const override {
     return current_;
   }
 

@@ -125,6 +125,23 @@ void apply(const FreeSystem& sys, const PowerGrid& grid,
       });
 }
 
+/// Initial iterate of the relaxation/CG loops: the warm-start field
+/// sampled at the free nodes when SolverOptions::warm_start is set, else
+/// the classic flat-Vdd cold start (bit-identical to previous releases).
+std::vector<double> initial_iterate(const FreeSystem& sys,
+                                    const PowerGrid& grid,
+                                    const SolverOptions& options) {
+  std::vector<double> x(sys.free_node.size(), grid.spec().vdd);
+  if (options.warm_start != nullptr) {
+    for (std::size_t i = 0; i < sys.free_node.size(); ++i) {
+      const auto [nx, ny] = sys.free_node[i];
+      x[i] = (*options.warm_start)(static_cast<std::size_t>(nx),
+                                   static_cast<std::size_t>(ny));
+    }
+  }
+  return x;
+}
+
 double relative_residual(const FreeSystem& sys, const PowerGrid& grid,
                          const std::vector<double>& x) {
   std::vector<double> ax(x.size());
@@ -167,7 +184,7 @@ SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
   require(omega > 0.0 && omega < 2.0,
           "solve: SOR omega must lie in (0, 2) for convergence");
 
-  std::vector<double> x(sys.free_node.size(), grid.spec().vdd);
+  std::vector<double> x = initial_iterate(sys, grid, options);
   std::vector<double> next(jacobi ? x.size() : 0);
 
   /// The 5-point update of node i read from `x`; the caller decides
@@ -265,7 +282,7 @@ SolveResult solve_relaxation(const FreeSystem& sys, const PowerGrid& grid,
 SolveResult solve_cg(const FreeSystem& sys, const PowerGrid& grid,
                      const SolverOptions& options) {
   const std::size_t n = sys.free_node.size();
-  std::vector<double> x(n, grid.spec().vdd);
+  std::vector<double> x = initial_iterate(sys, grid, options);
   std::vector<double> r(n);
   std::vector<double> z(n);
   std::vector<double> p(n);
@@ -408,6 +425,11 @@ class MultigridSolver {
         const std::size_t i = index(fine.k, x, y);
         fine.pad[i] = grid.is_pad(x, y) ? 1 : 0;
         fine.b[i] = -grid.node_current(x, y);
+        if (options.warm_start != nullptr && fine.pad[i] == 0) {
+          // Pads stay pinned at Vdd; only free cells take the warm field.
+          fine.x[i] = (*options.warm_start)(static_cast<std::size_t>(x),
+                                            static_cast<std::size_t>(y));
+        }
       }
     }
     fine.build_colours();
@@ -730,6 +752,12 @@ SolveResult solve(const PowerGrid& grid, const SolverOptions& options) {
   require(options.tolerance > 0.0, "solve: tolerance must be positive");
   require(options.max_iterations > 0,
           "solve: max_iterations must be positive");
+  if (options.warm_start != nullptr) {
+    const auto k = static_cast<std::size_t>(grid.k());
+    require(options.warm_start->width() == k &&
+                options.warm_start->height() == k,
+            "solve: warm_start field must match the grid's k x k shape");
+  }
   const obs::ScopedSpan span(span_name(options.kind), "power");
   const FreeSystem sys = build_system(grid);
   SolveResult result;
@@ -773,6 +801,7 @@ SolveResult solve(const PowerGrid& grid, const SolverOptions& options) {
       }
     }
     result.attempts = std::move(attempts);
+    result.warm_started = options.warm_start != nullptr;
   }
   if (obs::metrics_enabled()) {
     obs::count("solver.solves");

@@ -47,6 +47,16 @@ struct SolverOptions {
   /// and return best-so-far (stop = Budget, converged = false) on expiry.
   /// Non-owning; null = unlimited.
   const CancelToken* cancel = nullptr;
+  /// Optional warm start: a previous voltage field (k x k volts, e.g.
+  /// SolveResult::voltage of the last solve on the same mesh) seeding the
+  /// iterate instead of the flat-Vdd cold start. After a small pad edit
+  /// the old field is already near the new solution, so CG/SOR converge
+  /// in a fraction of the cold iteration count; the converged answer is
+  /// still driven to the same `tolerance`, so warm and cold results agree
+  /// within it (the contract tests/session_test.cpp enforces). Null (the
+  /// default) keeps the cold start bit-identical to previous releases.
+  /// Non-owning; must match the grid's k x k shape when set.
+  const Grid2D<double>* warm_start = nullptr;
 };
 
 /// Why the solve loop ended (telemetry; `converged` stays the API truth).
@@ -74,6 +84,9 @@ struct SolveResult {
   double relative_residual = 0.0;
   bool converged = false;
   SolveStop stop = SolveStop::IterationLimit;
+  /// True when SolverOptions::warm_start seeded the iterate (telemetry;
+  /// lets callers and tests tell warm re-solves from cold ones).
+  bool warm_started = false;
   /// Fallback-chain history, one entry per backend tried by solve()
   /// (size 1 on the healthy path; empty for the trivial all-pads case).
   std::vector<SolveAttempt> attempts;

@@ -1,0 +1,63 @@
+// Newline-delimited JSON-RPC protocol of `fpkit serve` (docs/SERVE.md).
+//
+// One request per line on stdin, one response per line on stdout, built
+// on the strict canonical-JSON layer (obs/json.h) so every document a
+// session emits is parseable by any off-the-shelf JSON tool:
+//
+//   request:  {"id": 1, "method": "swap",
+//              "params": {"quadrant": 0, "finger": 3}}
+//   success:  {"id": 1, "ok": true, "result": {...}}
+//   failure:  {"id": 1, "ok": false,
+//              "error": {"code": "FP-INVALID", "message": "..."}}
+//
+// A line that is not a well-formed request (bad JSON, missing/non-string
+// "method", non-object "params") raises ProtocolError -> an FP-PROTO
+// error response (with "id": null when the id could not be recovered);
+// the daemon keeps serving but the CLI exits 2 after the session drains.
+// Application failures (unknown file, illegal swap...) are ordinary
+// per-request error responses and never affect the exit code.
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace fp {
+
+struct ServeRequest {
+  /// Echoed verbatim into the response; null when the client sent none.
+  obs::Json id;
+  std::string method;
+  /// Always an object (defaults to {} when the client sent none).
+  obs::Json params = obs::Json::object();
+};
+
+/// Parses one request line. Throws ProtocolError on malformed input; the
+/// thrown message names the defect (byte offset for JSON errors).
+[[nodiscard]] ServeRequest parse_request(const std::string& line);
+
+/// {"id": ..., "ok": true, "result": ...}
+[[nodiscard]] obs::Json ok_response(const obs::Json& id, obs::Json result);
+
+/// {"id": ..., "ok": false, "error": {"code": "FP-...", "message": ...}}
+[[nodiscard]] obs::Json error_response(const obs::Json& id, ErrorCode code,
+                                       const std::string& message);
+
+/// Typed param accessors; each throws ProtocolError naming the key on a
+/// kind mismatch. `fallback` is returned when the key is absent.
+[[nodiscard]] std::string param_string(const obs::Json& params,
+                                       const std::string& key,
+                                       const std::string& fallback);
+[[nodiscard]] double param_number(const obs::Json& params,
+                                  const std::string& key, double fallback);
+[[nodiscard]] long long param_int(const obs::Json& params,
+                                  const std::string& key,
+                                  long long fallback);
+[[nodiscard]] bool param_bool(const obs::Json& params,
+                              const std::string& key, bool fallback);
+/// Required variant of param_string: throws ProtocolError when absent.
+[[nodiscard]] std::string param_string_required(const obs::Json& params,
+                                                const std::string& key);
+
+}  // namespace fp

@@ -1,0 +1,100 @@
+// The `fpkit serve` daemon loop (docs/SERVE.md).
+//
+// run_serve() reads newline-delimited JSON-RPC requests (session/
+// protocol.h) from a LineSource, drives one DesignSession, and writes one
+// response line per request (flushed, so a piped client can await each
+// answer). Methods: load, swap, undo, evaluate, checkpoint, stats,
+// shutdown. Each request runs under a "serve.<method>" span and bumps
+// serve.* counters, so a session's artifact carries the full request
+// mix.
+//
+// Graceful drain: the caller's CancelToken (typically interrupt-linked
+// to SIGINT/SIGTERM) is polled between requests *and* inside the
+// blocking stdin read (PollingStdinSource -- a plain blocking getline
+// would never wake: libstdc++ retries read() on EINTR). On expiry the
+// loop stops, in-flight state is kept, and the outcome reports
+// interrupted -> CLI exit 5 with the session artifact intact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "session/session.h"
+#include "util/cancel.h"
+
+namespace fp {
+
+/// One line of input for the daemon loop; false = end of stream (EOF or
+/// cancellation).
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+  [[nodiscard]] virtual bool next_line(std::string& line) = 0;
+};
+
+/// Plain std::getline over any istream (tests, scripted sessions).
+class StreamLineSource final : public LineSource {
+ public:
+  explicit StreamLineSource(std::istream& in) : in_(&in) {}
+  [[nodiscard]] bool next_line(std::string& line) override;
+
+ private:
+  std::istream* in_;
+};
+
+/// poll(2)-based reader on an fd (the CLI's stdin): blocks in short poll
+/// windows and checks the CancelToken between them, so a SIGINT/SIGTERM
+/// wakes the daemon even while no request is in flight.
+class PollingFdSource final : public LineSource {
+ public:
+  explicit PollingFdSource(int fd, const CancelToken* cancel)
+      : fd_(fd), cancel_(cancel) {}
+  [[nodiscard]] bool next_line(std::string& line) override;
+
+ private:
+  int fd_;
+  const CancelToken* cancel_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+struct ServeOptions {
+  SessionOptions session;
+  /// Polled between requests (and by PollingFdSource inside the read);
+  /// also worth wiring into session.solver.cancel so a drain interrupts
+  /// long solves cooperatively. Non-owning; null = never drains early.
+  const CancelToken* cancel = nullptr;
+};
+
+struct ServeOutcome {
+  long long requests = 0;
+  long long swaps = 0;
+  long long undos = 0;
+  long long evaluations = 0;
+  long long errors = 0;           // application error responses
+  long long protocol_errors = 0;  // FP-PROTO responses
+  long long loads = 0;
+  bool interrupted = false;  // drained on SIGINT/SIGTERM/cancel
+  bool shutdown = false;     // client sent "shutdown"
+  bool have_final_cost = false;
+  double final_cost = 0.0;  // last Eq.-(3) cost reported to the client
+
+  /// The CLI exit contract (docs/ROBUSTNESS.md): 5 interrupted drain,
+  /// 2 when any malformed request was seen, else 0.
+  [[nodiscard]] int exit_code() const {
+    if (interrupted) return 5;
+    if (protocol_errors > 0) return 2;
+    return 0;
+  }
+};
+
+/// Runs the daemon loop until EOF, shutdown, or cancellation.
+[[nodiscard]] ServeOutcome run_serve(LineSource& source, std::ostream& out,
+                                     const ServeOptions& options);
+
+/// Convenience for scripted/test sessions: wraps `in` in a
+/// StreamLineSource.
+[[nodiscard]] ServeOutcome run_serve(std::istream& in, std::ostream& out,
+                                     const ServeOptions& options);
+
+}  // namespace fp

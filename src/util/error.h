@@ -30,6 +30,7 @@ enum class ErrorCode {
   FaultInjected, // FP-FAULT   : a deterministic fault-injection site fired
   Crash,         // FP-CRASH   : a worker process died on a signal (farm)
   Timeout,       // FP-TIMEOUT : a worker exceeded its wall/heartbeat cap
+  Protocol,      // FP-PROTO   : malformed serve request (fpkit serve)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) {
@@ -50,6 +51,8 @@ enum class ErrorCode {
       return "FP-CRASH";
     case ErrorCode::Timeout:
       return "FP-TIMEOUT";
+    case ErrorCode::Protocol:
+      return "FP-PROTO";
   }
   return "FP-UNKNOWN";
 }
@@ -120,6 +123,16 @@ class SolverError : public Error {
  public:
   explicit SolverError(const std::string& what)
       : Error(what, ErrorCode::Solver) {}
+};
+
+/// Thrown by the serve protocol layer (session/protocol.h) on a request
+/// line that is not a well-formed JSON-RPC request. The daemon answers
+/// with an FP-PROTO error response and keeps serving; the CLI maps the
+/// code onto exit 2 (bad input) once the session drains.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error(what, ErrorCode::Protocol) {}
 };
 
 /// Throws InvalidArgument with `message` unless `condition` holds.

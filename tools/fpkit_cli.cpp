@@ -19,6 +19,9 @@
 //                  [--hang-timeout S] [--retry-base-ms M] [--backoff-seed S]
 //   fpkit farm     --resume <dir>
 //   fpkit compare  <runA> <runB> [--max-slowdown X] [--require-equal-cost]
+//   fpkit serve    [--mesh K] [--lambda L --rho R --phi P]
+//                  [--no-warm-start]   JSON-RPC session daemon on
+//                  stdin/stdout (docs/SERVE.md)
 //
 // Parallelism (docs/PARALLELISM.md): --threads N (0 = all cores; env
 // FPKIT_THREADS; default 1) sizes the exec worker pool for any
@@ -59,6 +62,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "analysis/check.h"
@@ -88,6 +92,7 @@
 #include "route/design_rules.h"
 #include "route/render.h"
 #include "route/router.h"
+#include "session/serve.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/faultpoint.h"
@@ -102,7 +107,7 @@ using namespace fp;
 int usage() {
   std::fprintf(stderr,
                "usage: fpkit <generate|info|run|route|ir|spice|check|batch|"
-               "farm|compare|dash> [flags]\n"
+               "farm|compare|dash|serve> [flags]\n"
                "  generate --table1 <1..5> [--tiers N] [--seed S] "
                "[--supply F] --out <file.fp>\n"
                "  info     <circuit.fp>\n"
@@ -144,6 +149,12 @@ int usage() {
                " dashboard (docs/DASHBOARD.md)\n"
                "  dash     --profile <trace.json> [--format text|json]"
                " [--out f] [--flame f.svg]\n"
+               "  serve    [--mesh K] [--lambda L] [--rho R] [--phi P]"
+               " [--no-warm-start]\n"
+               "           newline-delimited JSON-RPC session daemon on"
+               " stdin/stdout\n"
+               "           (load/swap/undo/evaluate/checkpoint/stats/"
+               "shutdown; docs/SERVE.md)\n"
                "parallelism (see docs/PARALLELISM.md):\n"
                "  --threads N         worker threads, 0 = all cores"
                " [env FPKIT_THREADS; default 1]\n"
@@ -988,6 +999,56 @@ int cmd_dash(const ArgParser& args) {
   return 0;
 }
 
+/// `fpkit serve` -- the session daemon (docs/SERVE.md). Flags set the
+/// *defaults* a later `load` request starts from; `load` params override
+/// them per session. Responses stream on stdout (one line each), so the
+/// generic end-of-run notes (artifact/trace paths) land after the last
+/// response -- scripted clients should treat only lines starting with
+/// '{' as responses.
+int cmd_serve(const ArgParser& args) {
+  SessionOptions session;
+  session.grid_spec.nodes_per_side =
+      static_cast<int>(args.get_int("mesh", 32));
+  session.lambda = args.get_double("lambda", 20.0);
+  session.rho = args.get_double("rho", 2.0);
+  session.phi = args.get_double("phi", 1.0);
+  session.warm_start = !args.has("no-warm-start");
+
+  ServeOptions options;
+  // SIGINT/SIGTERM -> graceful drain: the token wakes the polling stdin
+  // reader, stops the request loop, and cooperatively interrupts any
+  // in-flight IR solve; main() then still publishes the session artifact.
+  CancelToken cancel;
+  cancel.set_interrupt_linked(true);
+  session.solver.cancel = &cancel;
+  options.session = session;
+  options.cancel = &cancel;
+
+  PollingFdSource source(/*fd=*/0, &cancel);
+  const ServeOutcome outcome = run_serve(source, std::cout, options);
+
+  if (g_artifact.active()) {
+    auto& r = g_artifact.manifest.results;
+    r["requests"] = static_cast<double>(outcome.requests);
+    r["loads"] = static_cast<double>(outcome.loads);
+    r["swaps"] = static_cast<double>(outcome.swaps);
+    r["undos"] = static_cast<double>(outcome.undos);
+    r["evaluations"] = static_cast<double>(outcome.evaluations);
+    r["errors"] = static_cast<double>(outcome.errors);
+    r["protocol_errors"] = static_cast<double>(outcome.protocol_errors);
+    r["interrupted"] = outcome.interrupted ? 1.0 : 0.0;
+    r["shutdown"] = outcome.shutdown ? 1.0 : 0.0;
+    if (outcome.have_final_cost) r["final_cost"] = outcome.final_cost;
+  }
+  std::fprintf(stderr,
+               "fpkit serve: %lld request(s), %lld swap(s), %lld "
+               "evaluation(s), %lld error(s), %lld protocol error(s)%s\n",
+               outcome.requests, outcome.swaps, outcome.evaluations,
+               outcome.errors, outcome.protocol_errors,
+               outcome.interrupted ? "; interrupted (exit code 5)" : "");
+  return outcome.exit_code();
+}
+
 int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "info") return cmd_info(args);
@@ -1000,6 +1061,7 @@ int dispatch(const std::string& command, const ArgParser& args) {
   if (command == "farm") return cmd_farm(args);
   if (command == "compare") return cmd_compare(args);
   if (command == "dash") return cmd_dash(args);
+  if (command == "serve") return cmd_serve(args);
   return usage();
 }
 
@@ -1094,6 +1156,7 @@ int exit_code_for(const fp::Error& error) {
   switch (error.code()) {
     case ErrorCode::InvalidInput:
     case ErrorCode::Io:
+    case ErrorCode::Protocol:
       return 2;
     case ErrorCode::Internal:
     case ErrorCode::Check:
@@ -1118,7 +1181,7 @@ int main(int argc, char** argv) {
   // (keep best-so-far, flush artifacts, exit 5); everything else keeps
   // the default kill-me-now disposition.
   if (command == "run" || command == "plan" || command == "ir" ||
-      command == "batch" || command == "farm") {
+      command == "batch" || command == "farm" || command == "serve") {
     fp::sig::install_graceful();
   }
   ObsPaths obs_paths;
