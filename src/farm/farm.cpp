@@ -9,15 +9,22 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "codesign/report.h"
 #include "exec/subprocess.h"
 #include "io/circuit_file.h"
 #include "obs/artifact.h"
+#include "obs/merge.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/signal.h"
 #include "util/strings.h"
@@ -39,11 +46,23 @@ std::string job_dir(const std::string& farm_dir, int job) {
 }
 
 /// Touches `path` so its mtime advances; the supervisor's hang detector
-/// reads the mtime back. Plain truncating write -- a torn heartbeat file
-/// is fine, only the timestamp matters.
+/// reads the mtime back. When the worker captures progress (the
+/// supervisor runs with --progress), the beat carries the latest
+/// stage/done/total so the supervisor can fold job percentages into its
+/// own progress line. Plain truncating write -- a torn heartbeat is
+/// fine: the mtime still advances and the reader tolerates garbage.
 void beat(const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << "beat\n";
+  const obs::ProgressSnapshot snapshot = obs::progress_snapshot();
+  if (snapshot.valid) {
+    obs::Json doc = obs::Json::object();
+    doc.set("stage", obs::Json::string(snapshot.stage));
+    doc.set("done", obs::Json::number(snapshot.done));
+    doc.set("total", obs::Json::number(snapshot.total));
+    out << doc.dump() << '\n';
+  } else {
+    out << "beat\n";
+  }
 }
 
 /// Keeps the worker's heartbeat file fresh while the flow runs. The
@@ -137,6 +156,9 @@ int run_farm_worker(const WorkerOptions& options) {
     fill_run_manifest(manifest, flow, result);
     manifest.exit_code = interrupted ? 5 : (result.degraded ? 3 : 0);
     manifest.extra = std::move(extra);
+    // Host info (peak RSS, cores) per attempt; the supervisor aggregates
+    // these into the farm manifest's host rollup.
+    obs::capture_environment(manifest);
     write_job_artifact(options.out_dir, std::move(manifest));
     return interrupted ? 5 : (result.degraded ? 3 : 0);
   } catch (const Error& error) {
@@ -150,6 +172,7 @@ int run_farm_worker(const WorkerOptions& options) {
     extra.set("error", obs::Json::string(error.describe()));
     manifest.exit_code = code;
     manifest.extra = std::move(extra);
+    obs::capture_environment(manifest);
     try {
       write_job_artifact(options.out_dir, std::move(manifest));
     } catch (const Error& write_error) {
@@ -188,6 +211,99 @@ double heartbeat_age_s(const std::string& path, double fallback) {
   if (ec) return fallback;
   const auto age = fs::file_time_type::clock::now() - stamp;
   return std::chrono::duration<double>(age).count();
+}
+
+/// Atomic small-file publish for supervisor-side observability files
+/// (trace index, merged trace, rolled-up metrics): same tmp + rename
+/// discipline as the journal, so readers never see a torn file.
+void write_text_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp-partial";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("farm: cannot write " + tmp);
+    out << text;
+    out.flush();
+    if (!out) throw IoError("farm: write failed for " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw IoError("farm: rename " + tmp + " -> " + path +
+                  " failed: " + ec.message());
+  }
+}
+
+/// Farm trace id: unique enough across runs on one host (pid + wall
+/// clock); only minted when --trace is on, so determinism of untraced
+/// runs is untouched.
+std::string make_trace_id() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  char buf[48];
+  std::snprintf(
+      buf, sizeof(buf), "farm-%x-%llx", static_cast<unsigned>(::getpid()),
+      static_cast<unsigned long long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(now)
+              .count()));
+  return buf;
+}
+
+std::string trace_index_path(const std::string& farm_dir) {
+  return farm_dir + "/trace/index.json";
+}
+
+/// Lenient read of one worker heartbeat's progress payload. Returns the
+/// job's completion fraction in [0, 1], or nothing for a legacy
+/// "beat"-only file, a torn write, or a stage without a total.
+std::optional<double> heartbeat_fraction(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const obs::Json doc = obs::json_parse(trim(buffer.str()));
+    if (!doc.is_object()) return std::nullopt;
+    const obs::Json* done = doc.find("done");
+    const obs::Json* total = doc.find("total");
+    if (done == nullptr || !done->is_number() || total == nullptr ||
+        !total->is_number() || total->as_number() <= 0.0) {
+      return std::nullopt;
+    }
+    return std::clamp(done->as_number() / total->as_number(), 0.0, 1.0);
+  } catch (const Error&) {
+    return std::nullopt;  // torn heartbeat; next beat will be whole
+  }
+}
+
+/// Renders the supervisor's folded progress line: terminal jobs count
+/// whole, in-flight jobs contribute their heartbeat fraction, and the
+/// ETA extrapolates linearly from the farm's own elapsed time.
+void render_farm_progress(const JournalState& state,
+                          const std::vector<Slot>& slots, double elapsed_s,
+                          bool final) {
+  const std::size_t jobs = state.jobs.size();
+  if (jobs == 0) return;
+  const std::size_t terminal = state.done_count() + state.failed_count();
+  double units = static_cast<double>(terminal);
+  for (const Slot& slot : slots) {
+    if (const std::optional<double> fraction =
+            heartbeat_fraction(slot.heartbeat_path)) {
+      units += *fraction;
+    }
+  }
+  const double fraction =
+      std::min(1.0, units / static_cast<double>(jobs));
+  char buf[160];
+  if (fraction > 0.0 && fraction < 1.0 && elapsed_s > 0.0) {
+    const double eta_s = elapsed_s * (1.0 - fraction) / fraction;
+    std::snprintf(buf, sizeof(buf),
+                  "[farm] %3.0f%% (%zu/%zu jobs, %zu running) eta %.1fs",
+                  fraction * 100.0, terminal, jobs, slots.size(), eta_s);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "[farm] %3.0f%% (%zu/%zu jobs, %zu running)",
+                  fraction * 100.0, terminal, jobs, slots.size());
+  }
+  obs::progress_render(buf, final);
 }
 
 /// Turns a reaped worker's exit status into the journal's attempt record.
@@ -285,8 +401,48 @@ FarmOutcome summarize(const JournalState& state, bool interrupted,
 /// batch` (jobs/jobs_failed/jobs_degraded/runtime_s) so compare diffs
 /// farm-vs-batch top manifests cleanly; the farm_* keys are one-sided
 /// extras that never gate.
+/// Folds the per-job artifact host samples (written by the workers) into
+/// one farm-level rollup: the *maximum* peak RSS over attempts (the
+/// worst single process) and the *minimum* core count (the most
+/// constrained host, relevant once workers span machines).
+obs::Json host_rollup(const std::string& dir, std::size_t jobs) {
+  double peak_rss = 0.0;
+  double min_cores = 0.0;
+  long long sampled = 0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    obs::Json host;
+    try {
+      const obs::Json doc = obs::json_load(
+          job_dir(dir, static_cast<int>(i)) + "/manifest.json");
+      const obs::Json* extra = doc.find("extra");
+      if (extra == nullptr) continue;
+      const obs::Json* entry = extra->find("host");
+      if (entry == nullptr || !entry->is_object()) continue;
+      host = *entry;
+    } catch (const Error&) {
+      continue;  // failed job without a manifest, or a torn tree
+    }
+    const obs::Json* rss = host.find("peak_rss_bytes");
+    const obs::Json* cores = host.find("cores");
+    if (rss != nullptr && rss->is_number()) {
+      peak_rss = std::max(peak_rss, rss->as_number());
+    }
+    if (cores != nullptr && cores->is_number()) {
+      min_cores = sampled == 0 ? cores->as_number()
+                               : std::min(min_cores, cores->as_number());
+    }
+    ++sampled;
+  }
+  obs::Json rollup = obs::Json::object();
+  rollup.set("jobs_sampled", obs::Json::number(sampled));
+  rollup.set("peak_rss_bytes", obs::Json::number(peak_rss));
+  rollup.set("min_cores", obs::Json::number(min_cores));
+  return rollup;
+}
+
 void publish_manifest(const std::string& dir, const FarmJournal& journal,
-                      const FarmOutcome& outcome, double wall_s) {
+                      const FarmOutcome& outcome, double wall_s,
+                      const obs::TraceIndex* trace_index) {
   const JournalState& state = journal.state();
   obs::RunManifest manifest;
   manifest.subcommand = "farm";
@@ -295,7 +451,6 @@ void publish_manifest(const std::string& dir, const FarmJournal& journal,
   manifest.wall_s = wall_s;
   manifest.exit_code = outcome.exit_code;
   manifest.fault_spec = state.header.fault_spec;
-  obs::capture_environment(manifest);
   auto& results = manifest.results;
   results["jobs"] = static_cast<double>(outcome.jobs);
   results["jobs_failed"] = static_cast<double>(outcome.failed);
@@ -348,13 +503,71 @@ void publish_manifest(const std::string& dir, const FarmJournal& journal,
   farm.set("jobs", jobs);
   obs::Json extra = obs::Json::object();
   extra.set("farm", farm);
+  extra.set("host_rollup", host_rollup(dir, outcome.jobs));
   manifest.extra = std::move(extra);
+  // After extra is in place: capture_environment merges the supervisor's
+  // own host block into the existing object instead of being clobbered.
+  obs::capture_environment(manifest);
 
   obs::gauge("farm.jobs", static_cast<double>(outcome.jobs));
   obs::gauge("farm.failed", static_cast<double>(outcome.failed));
   obs::gauge("farm.degraded", static_cast<double>(outcome.degraded));
   obs::gauge("farm.runtime_s", outcome.runtime_s);
-  obs::write_manifest_into(dir, manifest, /*include_metrics=*/true);
+
+  if (trace_index == nullptr) {
+    obs::write_manifest_into(dir, manifest, /*include_metrics=*/true);
+    return;
+  }
+
+  // Traced farm: stitch the supervisor + worker trace parts into one
+  // timeline and roll the per-worker metrics up into the farm-level
+  // metrics.json, so compare/dash see the whole farm, not just the
+  // supervisor. Both outputs are deterministic for fixed part files.
+  obs::save_trace(dir + "/trace/supervisor/trace.json");
+  try {
+    obs::MergedTrace merged = obs::merge_trace_dir(dir + "/trace");
+    write_text_atomic(dir + "/trace.json", merged.json);
+    for (const std::string& note : merged.notes) {
+      std::fprintf(stderr, "farm: trace: %s\n", note.c_str());
+    }
+  } catch (const Error& error) {
+    std::fprintf(stderr, "farm: trace merge failed: %s\n", error.what());
+  }
+
+  std::vector<obs::MetricsPart> parts;
+  double stamp = 0.0;
+  for (const obs::TracePart& part : trace_index->parts) {
+    if (part.name == "supervisor") continue;
+    const std::size_t slash = part.file.find_last_of('/');
+    if (slash == std::string::npos) continue;
+    const std::string metrics_path =
+        dir + "/trace/" + part.file.substr(0, slash) + "/metrics.json";
+    try {
+      parts.push_back(
+          obs::MetricsPart{obs::json_load(metrics_path), part.name, stamp});
+    } catch (const Error&) {
+      // A killed attempt never wrote metrics; its successful retry did.
+    }
+    stamp += 1.0;
+  }
+  // The supervisor's own registry goes last so its farm.* gauges win
+  // the last-writer-wins merge.
+  parts.push_back(obs::MetricsPart{
+      obs::json_parse(obs::MetricsRegistry::global().to_json()),
+      "supervisor", stamp});
+  try {
+    obs::MergedMetrics rolled = obs::merge_metrics(std::move(parts));
+    write_text_atomic(dir + "/metrics.json", rolled.doc.dump());
+    for (const std::string& note : rolled.notes) {
+      std::fprintf(stderr, "farm: metrics: %s\n", note.c_str());
+    }
+    obs::write_manifest_into(dir, manifest, /*include_metrics=*/false);
+  } catch (const Error& error) {
+    // Incompatible worker metrics must not lose the farm manifest; fall
+    // back to the supervisor-only snapshot.
+    std::fprintf(stderr, "farm: metrics rollup failed: %s\n", error.what());
+    obs::write_manifest_into(dir, manifest, /*include_metrics=*/true);
+  }
 }
 
 /// Writes the terminal-failure artifact for a job whose attempts are
@@ -387,6 +600,43 @@ FarmOutcome run_supervisor(const std::string& exe, FarmJournal& journal) {
   fs::create_directories(journal.dir() + "/logs");
   fs::create_directories(journal.dir() + "/hb");
 
+  // Traced farm: assign this run a trace id and maintain the part index
+  // that merge_trace_dir stitches. A resume reuses the existing index --
+  // old parts keep their lanes -- though offsets recorded by a previous
+  // supervisor are approximations relative to this one's epoch.
+  const bool tracing = obs::tracing_enabled();
+  obs::TraceIndex trace_index;
+  if (tracing) {
+    fs::create_directories(journal.dir() + "/trace/supervisor");
+    try {
+      trace_index = obs::trace_index_from_json(
+          obs::json_load(trace_index_path(journal.dir())));
+    } catch (const Error&) {
+      trace_index.trace_id = make_trace_id();
+    }
+    const bool have_supervisor = std::any_of(
+        trace_index.parts.begin(), trace_index.parts.end(),
+        [](const obs::TracePart& part) { return part.name == "supervisor"; });
+    if (!have_supervisor) {
+      obs::TracePart supervisor;
+      supervisor.file = "supervisor/trace.json";
+      supervisor.name = "supervisor";
+      supervisor.pid = 1;
+      supervisor.sort_index = 0;
+      supervisor.offset_us = 0;
+      trace_index.parts.insert(trace_index.parts.begin(),
+                               std::move(supervisor));
+    }
+    obs::TraceProcess identity;
+    identity.pid = 1;
+    identity.sort_index = 0;
+    identity.name = "supervisor";
+    identity.trace_id = trace_index.trace_id;
+    obs::set_trace_process(std::move(identity));
+    write_text_atomic(trace_index_path(journal.dir()),
+                      trace_index_to_json(trace_index).dump() + "\n");
+  }
+
   std::deque<PendingJob> pending;
   for (std::size_t i = 0; i < journal.state().jobs.size(); ++i) {
     if (journal.state().jobs[i].state == JobProgress::State::Pending) {
@@ -396,6 +646,7 @@ FarmOutcome run_supervisor(const std::string& exe, FarmJournal& journal) {
   std::vector<Slot> slots;
   bool draining = false;
   bool hard_drain = false;
+  Clock::time_point last_progress = Clock::now();
 
   const auto spawn_job = [&](int job) {
     const JobProgress& progress =
@@ -435,6 +686,44 @@ FarmOutcome run_supervisor(const std::string& exe, FarmJournal& journal) {
     spawn.unset_env.emplace_back("FPKIT_ARTIFACT_DIR");
     spawn.unset_env.emplace_back("FPKIT_TRACE");
     spawn.unset_env.emplace_back("FPKIT_PROGRESS");
+    // Trace-context propagation: hand the worker its lane in the shared
+    // timeline and a directory to dump its trace + metrics into. The
+    // part is indexed *before* the spawn (offset sampled now, against
+    // this supervisor's epoch) so even a crashed farm leaves a
+    // mergeable index behind.
+    if (tracing) {
+      const std::string lane_name =
+          "job" + std::to_string(job) + " " + progress.label;
+      const std::string part_dir = "job" + std::to_string(job) + ".attempt" +
+                                   std::to_string(slot.attempt);
+      fs::create_directories(journal.dir() + "/trace/" + part_dir);
+      spawn.set_env.emplace_back("FPKIT_TRACE_PARENT",
+                                 trace_index.trace_id + ":" +
+                                     std::to_string(job + 1) + ":" +
+                                     lane_name);
+      spawn.set_env.emplace_back("FPKIT_TRACE_DIR",
+                                 journal.dir() + "/trace/" + part_dir);
+      obs::TracePart part;
+      part.file = part_dir + "/trace.json";
+      part.name = lane_name;
+      part.pid = job + 2;        // retries share the job's process band
+      part.sort_index = job + 1;
+      part.offset_us = obs::trace_now_us();
+      trace_index.parts.push_back(std::move(part));
+      write_text_atomic(trace_index_path(journal.dir()),
+                        trace_index_to_json(trace_index).dump() + "\n");
+    } else {
+      spawn.unset_env.emplace_back("FPKIT_TRACE_PARENT");
+      spawn.unset_env.emplace_back("FPKIT_TRACE_DIR");
+    }
+    // Workers capture progress (for the heartbeat payload) only when
+    // the supervisor is rendering it; otherwise their heartbeat sites
+    // stay on the one-relaxed-load disabled path.
+    if (obs::progress_enabled()) {
+      spawn.set_env.emplace_back("FPKIT_PROGRESS_CAPTURE", "1");
+    } else {
+      spawn.unset_env.emplace_back("FPKIT_PROGRESS_CAPTURE");
+    }
     spawn.stdout_path = slot.stdout_path;
     spawn.stderr_path = slot.stderr_path;
 
@@ -458,6 +747,8 @@ FarmOutcome run_supervisor(const std::string& exe, FarmJournal& journal) {
     const JobProgress& progress =
         journal.state().jobs[static_cast<std::size_t>(slot.job)];
     const std::string& label = progress.label;
+    // Clear any in-place progress line before regular per-job output.
+    obs::progress_finish();
     if (progress.state == JobProgress::State::Done) {
       std::printf("farm: job %d (%s) %s  [attempt %d, %.2fs]\n", slot.job,
                   label.c_str(), progress.degraded ? "degraded" : "ok",
@@ -553,16 +844,32 @@ FarmOutcome run_supervisor(const std::string& exe, FarmJournal& journal) {
     }
 
     if (slots.empty() && (draining || pending.empty())) break;
+    // Folded farm progress: terminal jobs plus in-flight heartbeat
+    // fractions. Throttled here (not just in the renderer) so the
+    // 10 ms poll doesn't re-read every heartbeat file each lap.
+    if (obs::progress_enabled() &&
+        std::chrono::duration<double>(Clock::now() - last_progress)
+                .count() > 0.1) {
+      last_progress = Clock::now();
+      render_farm_progress(journal.state(), slots, wall.seconds(),
+                           /*final=*/false);
+    }
     std::this_thread::sleep_for(kPollInterval);
   }
 
   const FarmOutcome outcome =
       summarize(journal.state(), draining, wall.seconds());
+  if (obs::progress_enabled()) {
+    render_farm_progress(journal.state(), slots, wall.seconds(),
+                         /*final=*/true);
+    obs::progress_finish();
+  }
   if (!draining && !journal.state().completed &&
       outcome.done + outcome.failed == outcome.jobs) {
     journal.record_marker("farm_done");
   }
-  publish_manifest(journal.dir(), journal, outcome, wall.seconds());
+  publish_manifest(journal.dir(), journal, outcome, wall.seconds(),
+                   tracing ? &trace_index : nullptr);
   journal.release_lock();
   return outcome;
 }

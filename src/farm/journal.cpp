@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
@@ -143,6 +144,30 @@ std::size_t JournalState::pending_count() const {
       }));
 }
 
+namespace {
+
+std::size_t count_state(const std::vector<JobProgress>& jobs,
+                        JobProgress::State state) {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(), [state](const JobProgress& job) {
+        return job.state == state;
+      }));
+}
+
+}  // namespace
+
+std::size_t JournalState::done_count() const {
+  return count_state(jobs, JobProgress::State::Done);
+}
+
+std::size_t JournalState::failed_count() const {
+  return count_state(jobs, JobProgress::State::Failed);
+}
+
+std::size_t JournalState::running_count() const {
+  return count_state(jobs, JobProgress::State::Running);
+}
+
 long long backoff_delay_ms(std::uint64_t seed, int job_index, int attempt,
                            long long retry_base_ms, long long max_ms) {
   require(attempt >= 1, "backoff_delay_ms: attempt must be >= 1");
@@ -189,19 +214,17 @@ FarmJournal FarmJournal::create(const std::string& dir,
   return journal;
 }
 
-FarmJournal FarmJournal::resume(const std::string& dir) {
+JournalState replay_journal(const std::string& dir) {
   if (!fs::exists(header_path(dir))) {
     throw InvalidArgument("farm directory " + dir +
                           " has no farm.json; nothing to resume");
   }
-  FarmJournal journal;
-  journal.dir_ = dir;
-  journal.state_.took_over = acquire_lock(dir);
-  journal.state_.header = header_from_json(obs::json_load(header_path(dir)));
-  const FarmHeader& header = journal.state_.header;
-  journal.state_.jobs.resize(header.labels.size());
+  JournalState state;
+  state.header = header_from_json(obs::json_load(header_path(dir)));
+  const FarmHeader& header = state.header;
+  state.jobs.resize(header.labels.size());
   for (std::size_t i = 0; i < header.labels.size(); ++i) {
-    journal.state_.jobs[i].label = header.labels[i];
+    state.jobs[i].label = header.labels[i];
   }
 
   // Replay. Each event line is independent; a torn final line (the write
@@ -219,17 +242,26 @@ FarmJournal FarmJournal::resume(const std::string& dir) {
     }
     const Json* kind = event.find("event");
     if (kind == nullptr || !kind->is_string()) continue;
+    // Event timestamps arrived with the observability work; journals
+    // written before them replay with first/last left at 0.
+    if (const Json* stamp = event.find("t")) {
+      if (stamp->is_number()) {
+        const double t = stamp->as_number();
+        if (state.first_event_t == 0.0) state.first_event_t = t;
+        state.last_event_t = t;
+      }
+    }
     const std::string& name = kind->as_string();
     if (name == "farm_done") {
-      journal.state_.completed = true;
+      state.completed = true;
       continue;
     }
     if (name != "start" && name != "done" && name != "retry") continue;
     const Json* job_field = event.find("job");
     if (job_field == nullptr || !job_field->is_number()) continue;
     const auto index = static_cast<std::size_t>(job_field->as_number());
-    if (index >= journal.state_.jobs.size()) continue;
-    JobProgress& job = journal.state_.jobs[index];
+    if (index >= state.jobs.size()) continue;
+    JobProgress& job = state.jobs[index];
     if (name == "start") {
       job.state = JobProgress::State::Running;
       job.attempts = std::max(
@@ -267,6 +299,19 @@ FarmJournal FarmJournal::resume(const std::string& dir) {
       }
     }
   }
+  return state;
+}
+
+FarmJournal FarmJournal::resume(const std::string& dir) {
+  if (!fs::exists(header_path(dir))) {
+    throw InvalidArgument("farm directory " + dir +
+                          " has no farm.json; nothing to resume");
+  }
+  FarmJournal journal;
+  journal.dir_ = dir;
+  const bool took_over = acquire_lock(dir);
+  journal.state_ = replay_journal(dir);
+  journal.state_.took_over = took_over;
   // In-flight attempts (start without done) belong to the killed
   // supervisor's workers; they re-run from scratch.
   for (JobProgress& job : journal.state_.jobs) {
@@ -283,7 +328,14 @@ FarmJournal FarmJournal::resume(const std::string& dir) {
   return journal;
 }
 
-void FarmJournal::append(const Json& event) {
+void FarmJournal::append(Json event) {
+  // Wall clock, not steady: the journal outlives supervisor processes
+  // (resume), and `dash --follow` compares against the current time.
+  const double now_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  event.set("t", Json::number(now_s));
   log_ << event.dump() << '\n';
   log_.flush();
   if (!log_) throw IoError("farm journal: append failed in " + dir_);

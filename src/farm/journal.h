@@ -88,9 +88,25 @@ struct JournalState {
   std::vector<JobProgress> jobs;
   bool completed = false;   // a farm_done marker was journaled
   bool took_over = false;   // this open performed a stale-lock takeover
+  // Wall-clock range of the replayed events (unix seconds; 0 when the
+  // journal is empty or predates event timestamps). `fpkit dash
+  // --follow` derives throughput and an ETA from these.
+  double first_event_t = 0.0;
+  double last_event_t = 0.0;
 
   [[nodiscard]] std::size_t pending_count() const;
+  [[nodiscard]] std::size_t done_count() const;
+  [[nodiscard]] std::size_t failed_count() const;
+  [[nodiscard]] std::size_t running_count() const;
 };
+
+/// Read-only journal replay: loads <dir>/farm.json and folds the event
+/// log without touching the lock, so a live farm can be observed while
+/// it runs (`fpkit dash --follow`). Jobs with a start event and no done
+/// event are reported as Running -- the caller decides whether the
+/// supervisor behind them is still alive. Throws InvalidArgument when
+/// the directory holds no farm.json.
+[[nodiscard]] JournalState replay_journal(const std::string& dir);
 
 /// Deterministic retry delay before attempt `attempt + 1` of job
 /// `job_index`: retry_base_ms * 2^(attempt-1) plus seeded jitter in
@@ -119,7 +135,8 @@ class FarmJournal {
   [[nodiscard]] const JournalState& state() const { return state_; }
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
-  // Event appenders; each writes one line and flushes it.
+  // Event appenders; each stamps the wall clock ("t", unix seconds),
+  // writes one line and flushes it.
   void record_start(int job, int attempt);
   void record_done(int job, const AttemptRecord& record);
   void record_retry(int job, int next_attempt, long long delay_ms);
@@ -134,7 +151,7 @@ class FarmJournal {
   std::ofstream log_;
   JournalState state_;
 
-  void append(const obs::Json& event);
+  void append(obs::Json event);
 };
 
 }  // namespace fp::farm

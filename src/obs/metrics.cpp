@@ -164,6 +164,16 @@ std::optional<double> MetricsRegistry::gauge_value(
   return it->second;
 }
 
+std::map<std::string, long long> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
 std::optional<HistogramSnapshot> MetricsRegistry::histogram(
     std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mutex_);

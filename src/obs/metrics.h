@@ -79,6 +79,10 @@ class MetricsRegistry {
   [[nodiscard]] std::optional<long long> counter_value(
       std::string_view name) const;
   [[nodiscard]] std::optional<double> gauge_value(std::string_view name) const;
+  /// Full snapshots of every counter/gauge, for delta streaming (`fpkit
+  /// serve`'s watch method) and cross-process rollup (obs/merge.h).
+  [[nodiscard]] std::map<std::string, long long> counters() const;
+  [[nodiscard]] std::map<std::string, double> gauges() const;
   [[nodiscard]] std::optional<HistogramSnapshot> histogram(
       std::string_view name) const;
   [[nodiscard]] std::optional<SeriesSnapshot> series(

@@ -43,16 +43,19 @@ struct OpenSpan {
   std::uint64_t start_us = 0;
 };
 
-/// Folds one event object into the trace under construction.
+/// Folds one event object into the trace under construction. Begin/end
+/// stacks are keyed (pid, tid): two processes in a merged farm trace may
+/// both use tid 0.
 struct EventFolder {
   ChromeTrace& trace;
-  std::map<int, std::vector<OpenSpan>>& open;  // per-tid begin stacks
+  std::map<std::pair<int, int>, std::vector<OpenSpan>>& open;
   std::uint64_t& max_ts;
   std::size_t& unmatched_ends;
 
   void fold(const Json& event) {
     if (!event.is_object()) return;
     const std::string ph = string_or(event, "ph", "");
+    const int pid = static_cast<int>(number_or(event, "pid", 1.0));
     const int tid = static_cast<int>(number_or(event, "tid", 0.0));
     const auto ts = static_cast<std::uint64_t>(
         std::max(0.0, number_or(event, "ts", 0.0)));
@@ -64,6 +67,7 @@ struct EventFolder {
       span.start_us = ts;
       span.duration_us = static_cast<std::uint64_t>(
           std::max(0.0, number_or(event, "dur", 0.0)));
+      span.process_id = pid;
       span.thread_id = tid;
       if (const Json* args = event.find("args")) {
         span.depth = static_cast<int>(number_or(*args, "depth", -1.0));
@@ -71,11 +75,11 @@ struct EventFolder {
       max_ts = std::max(max_ts, span.start_us + span.duration_us);
       trace.spans.push_back(std::move(span));
     } else if (ph == "B") {
-      open[tid].push_back(
+      open[{pid, tid}].push_back(
           OpenSpan{string_or(event, "name", "(unnamed)"),
                    string_or(event, "cat", ""), ts});
     } else if (ph == "E") {
-      auto it = open.find(tid);
+      auto it = open.find({pid, tid});
       if (it == open.end() || it->second.empty()) {
         ++unmatched_ends;
         return;
@@ -87,13 +91,34 @@ struct EventFolder {
       span.category = std::move(begin.category);
       span.start_us = begin.start_us;
       span.duration_us = ts >= begin.start_us ? ts - begin.start_us : 0;
+      span.process_id = pid;
       span.thread_id = tid;
       trace.spans.push_back(std::move(span));
     } else if (ph == "C") {
       ++trace.counter_events;
-    } else if (ph == "M" && string_or(event, "name", "") == "thread_name") {
+      CounterSample counter;
+      counter.name = string_or(event, "name", "(unnamed)");
+      counter.time_us = ts;
+      counter.process_id = pid;
+      counter.thread_id = tid;
       if (const Json* args = event.find("args")) {
-        trace.thread_names[tid] = string_or(*args, "name", "");
+        if (args->is_object()) {
+          for (const auto& [key, value] : args->fields()) {
+            if (value.is_number()) {
+              counter.values.emplace_back(key, value.as_number());
+            }
+          }
+        }
+      }
+      trace.counters.push_back(std::move(counter));
+    } else if (ph == "M") {
+      const std::string name = string_or(event, "name", "");
+      const Json* args = event.find("args");
+      if (args == nullptr) return;
+      if (name == "thread_name") {
+        trace.thread_names[{pid, tid}] = string_or(*args, "name", "");
+      } else if (name == "process_name") {
+        trace.process_names[pid] = string_or(*args, "name", "");
       }
     }
   }
@@ -164,7 +189,7 @@ std::size_t salvage_events(std::string_view text, EventFolder& folder) {
 
 ChromeTrace parse_chrome_trace(std::string_view text) {
   ChromeTrace trace;
-  std::map<int, std::vector<OpenSpan>> open;
+  std::map<std::pair<int, int>, std::vector<OpenSpan>> open;
   std::uint64_t max_ts = 0;
   std::size_t unmatched_ends = 0;
   EventFolder folder{trace, open, max_ts, unmatched_ends};
@@ -172,6 +197,13 @@ ChromeTrace parse_chrome_trace(std::string_view text) {
   std::string parse_error;
   try {
     const Json doc = json_parse(text);
+    if (doc.is_object()) {
+      if (const Json* other = doc.find("otherData")) {
+        if (other->is_object()) {
+          trace.trace_id = string_or(*other, "trace_id", "");
+        }
+      }
+    }
     const std::vector<Json>* events = event_array(doc);
     require(events != nullptr,
             "parse_chrome_trace: no traceEvents array in the document");
@@ -194,7 +226,7 @@ ChromeTrace parse_chrome_trace(std::string_view text) {
   // Close any span whose "E" never arrived (killed run) at the last seen
   // timestamp: the time was genuinely spent, only the close was lost.
   std::size_t unclosed = 0;
-  for (auto& [tid, stack] : open) {
+  for (auto& [key, stack] : open) {
     while (!stack.empty()) {
       OpenSpan begin = std::move(stack.back());
       stack.pop_back();
@@ -204,7 +236,8 @@ ChromeTrace parse_chrome_trace(std::string_view text) {
       span.start_us = begin.start_us;
       span.duration_us =
           max_ts >= begin.start_us ? max_ts - begin.start_us : 0;
-      span.thread_id = tid;
+      span.process_id = key.first;
+      span.thread_id = key.second;
       trace.spans.push_back(std::move(span));
       ++unclosed;
     }
@@ -233,29 +266,31 @@ ChromeTrace load_chrome_trace(const std::string& path) {
 
 namespace {
 
-/// Span order used for both aggregation and the flame layout: by thread,
-/// then start time; on a start tie the longer (outer) span first, then
-/// the recorded depth so RAII parent/child pairs with equal timestamps
-/// still stack correctly.
+/// Span order used for both aggregation and the flame layout: by process,
+/// then thread, then start time; on a start tie the longer (outer) span
+/// first, then the recorded depth so RAII parent/child pairs with equal
+/// timestamps still stack correctly.
 bool layout_less(const ProfileSpan& a, const ProfileSpan& b) {
+  if (a.process_id != b.process_id) return a.process_id < b.process_id;
   if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
   if (a.start_us != b.start_us) return a.start_us < b.start_us;
   if (a.duration_us != b.duration_us) return a.duration_us > b.duration_us;
   return a.depth < b.depth;
 }
 
-/// Resolves nesting by interval containment per thread; fills each span's
-/// depth (when the trace did not record one) and returns, per span, the
-/// total duration of its direct children (for self-time subtraction).
+/// Resolves nesting by interval containment per (process, thread); fills
+/// each span's depth (when the trace did not record one) and returns, per
+/// span, the total duration of its direct children (for self-time
+/// subtraction).
 std::vector<double> resolve_nesting(std::vector<ProfileSpan>& spans) {
   std::sort(spans.begin(), spans.end(), layout_less);
   std::vector<double> child_us(spans.size(), 0.0);
   std::vector<std::size_t> stack;  // indices of open ancestors
-  int current_thread = -1;
+  std::pair<int, int> current{-1, -1};
   for (std::size_t i = 0; i < spans.size(); ++i) {
     ProfileSpan& span = spans[i];
-    if (span.thread_id != current_thread) {
-      current_thread = span.thread_id;
+    if (std::pair<int, int>{span.process_id, span.thread_id} != current) {
+      current = {span.process_id, span.thread_id};
       stack.clear();
     }
     const auto ends = [&](std::size_t j) {
@@ -328,15 +363,29 @@ TraceProfile profile_trace(const ChromeTrace& trace) {
   const std::vector<double> child_us = resolve_nesting(spans);
 
   std::map<std::string, ProfileEntry> by_name;
-  std::map<int, bool> threads;
+  std::map<std::pair<int, int>, bool> threads;
+  std::map<int, ProcessEntry> by_process;
+  // Labeled-but-idle processes (e.g. a worker that crashed before its
+  // first span) still get an attribution row.
+  for (const auto& [pid, name] : trace.process_names) {
+    ProcessEntry& entry = by_process[pid];
+    entry.process_id = pid;
+    entry.name = name;
+  }
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const ProfileSpan& span = spans[i];
-    threads[span.thread_id] = true;
+    threads[{span.process_id, span.thread_id}] = true;
     const auto duration = static_cast<double>(span.duration_us);
     // A child can outlive its parent in a salvaged trace; clamp so self
     // time never goes negative.
     const double self = std::max(0.0, duration - child_us[i]);
-    if (span.depth == 0) profile.root_total_us += duration;
+    ProcessEntry& process = by_process[span.process_id];
+    process.process_id = span.process_id;
+    ++process.span_count;
+    if (span.depth == 0) {
+      profile.root_total_us += duration;
+      process.total_us += duration;
+    }
     auto [it, fresh] = by_name.emplace(span.name, ProfileEntry{});
     ProfileEntry& entry = it->second;
     if (fresh) {
@@ -352,6 +401,11 @@ TraceProfile profile_trace(const ChromeTrace& trace) {
     entry.max_us = std::max(entry.max_us, duration);
   }
   profile.thread_count = static_cast<int>(threads.size());
+  profile.process_count = static_cast<int>(by_process.size());
+  profile.processes.reserve(by_process.size());
+  for (auto& [pid, entry] : by_process) {
+    profile.processes.push_back(std::move(entry));
+  }
   profile.entries.reserve(by_name.size());
   for (auto& [name, entry] : by_name) {
     profile.entries.push_back(std::move(entry));
@@ -371,6 +425,20 @@ std::string TraceProfile::to_text() const {
                 "%zu span(s) on %d thread(s), %.3f ms traced\n", span_count,
                 thread_count, root_total_us / 1e3);
   out += buf;
+  // Merged farm traces: break the total down per process lane.
+  if (process_count > 1) {
+    std::snprintf(buf, sizeof(buf), "%d process(es):\n", process_count);
+    out += buf;
+    for (const ProcessEntry& process : processes) {
+      std::string label = process.name.empty()
+                              ? "pid " + std::to_string(process.process_id)
+                              : process.name;
+      std::snprintf(buf, sizeof(buf), "  %-28s %8lld span(s) %12s ms\n",
+                    label.c_str(), process.span_count,
+                    format_ms(process.total_us).c_str());
+      out += buf;
+    }
+  }
   for (const std::string& note : notes) {
     out += "note: " + note + "\n";
   }
@@ -397,7 +465,19 @@ Json TraceProfile::to_json() const {
           Json::number(static_cast<long long>(span_count)));
   doc.set("thread_count",
           Json::number(static_cast<long long>(thread_count)));
+  doc.set("process_count",
+          Json::number(static_cast<long long>(process_count)));
   doc.set("root_total_us", Json::number(root_total_us));
+  Json process_list = Json::array();
+  for (const ProcessEntry& process : processes) {
+    Json row = Json::object();
+    row.set("pid", Json::number(static_cast<long long>(process.process_id)));
+    row.set("name", Json::string(process.name));
+    row.set("span_count", Json::number(process.span_count));
+    row.set("total_us", Json::number(process.total_us));
+    process_list.push(std::move(row));
+  }
+  doc.set("processes", std::move(process_list));
   Json note_list = Json::array();
   for (const std::string& note : notes) {
     note_list.push(Json::string(note));
@@ -431,11 +511,13 @@ std::string TraceProfile::to_flame_svg() const {
 
   std::uint64_t min_ts = UINT64_MAX;
   std::uint64_t max_ts = 0;
-  std::map<int, int> band_rows;  // tid -> max depth + 1
+  // (pid, tid) -> max depth + 1; map order puts the supervisor band (the
+  // lowest pid under the farm's lane scheme) on top, workers below it.
+  std::map<std::pair<int, int>, int> band_rows;
   for (const ProfileSpan& span : spans) {
     min_ts = std::min(min_ts, span.start_us);
     max_ts = std::max(max_ts, span.start_us + span.duration_us);
-    int& rows = band_rows[span.thread_id];
+    int& rows = band_rows[{span.process_id, span.thread_id}];
     rows = std::max(rows, span.depth + 1);
   }
   if (spans.empty()) {
@@ -448,13 +530,22 @@ std::string TraceProfile::to_flame_svg() const {
       std::max<double>(1.0, static_cast<double>(max_ts - min_ts));
   const double scale = kWidth / span_us;
 
-  std::map<int, double> band_top;  // tid -> y of the band's row 0
+  std::map<std::pair<int, int>, double> band_top;  // y of the band's row 0
   double height = kMargin;
-  for (const auto& [tid, rows] : band_rows) {
+  for (const auto& [key, rows] : band_rows) {
     height += kBandGap;
-    band_top[tid] = height;
+    band_top[key] = height;
     height += rows * kRowH + kMargin;
   }
+  const bool multi_process = processes.size() > 1;
+  const auto process_label = [&](int pid) -> std::string {
+    for (const ProcessEntry& process : processes) {
+      if (process.process_id == pid && !process.name.empty()) {
+        return process.name;
+      }
+    }
+    return "pid " + std::to_string(pid);
+  };
 
   std::string svg;
   char buf[320];
@@ -464,9 +555,14 @@ std::string TraceProfile::to_flame_svg() const {
                 "font-size=\"11\">\n",
                 kWidth + 2 * kMargin, height);
   svg += buf;
-  for (const auto& [tid, top] : band_top) {
-    std::string label = "thread " + std::to_string(tid);
-    auto named = thread_names.find(tid);
+  for (const auto& [key, top] : band_top) {
+    std::string label;
+    if (multi_process) {
+      label += process_label(key.first);
+      label += " / ";
+    }
+    label += "thread " + std::to_string(key.second);
+    auto named = thread_names.find(key);
     if (named != thread_names.end() && !named->second.empty()) {
       label += " (";
       label += named->second;
@@ -484,7 +580,8 @@ std::string TraceProfile::to_flame_svg() const {
         kMargin + static_cast<double>(span.start_us - min_ts) * scale;
     const double w = std::max(
         0.5, static_cast<double>(span.duration_us) * scale);
-    const double y = band_top[span.thread_id] + span.depth * kRowH;
+    const double y =
+        band_top[{span.process_id, span.thread_id}] + span.depth * kRowH;
     std::snprintf(buf, sizeof(buf),
                   "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" "
                   "height=\"%.1f\" fill=\"%s\" stroke=\"#ffffff\" "

@@ -29,15 +29,31 @@ struct ProfileSpan {
   std::string category;
   std::uint64_t start_us = 0;
   std::uint64_t duration_us = 0;
+  int process_id = 1;  // Chrome pid; one lane per farm worker process
   int thread_id = 0;
   int depth = -1;  // args.depth when present, else -1 (derived later)
 };
 
-/// A loaded trace: spans plus thread labels and any salvage diagnostics.
+/// One counter sample ("C" event) read back from a trace; retained so
+/// merged multi-process traces keep their counter tracks.
+struct CounterSample {
+  std::string name;
+  std::uint64_t time_us = 0;
+  int process_id = 1;
+  int thread_id = 0;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// A loaded trace: spans plus process/thread labels and any salvage
+/// diagnostics. Threads are keyed (pid, tid) -- two processes may both
+/// have a tid 0.
 struct ChromeTrace {
   std::vector<ProfileSpan> spans;
-  std::map<int, std::string> thread_names;
-  std::size_t counter_events = 0;  // "C" events seen (not profiled)
+  std::vector<CounterSample> counters;
+  std::map<std::pair<int, int>, std::string> thread_names;
+  std::map<int, std::string> process_names;  // process_name "M" events
+  std::string trace_id;  // otherData.trace_id, "" when absent
+  std::size_t counter_events = 0;  // "C" events seen (== counters.size())
   /// Human-readable repair notes ("trace truncated: salvaged 41
   /// event(s)", "2 unclosed span(s) closed at the last timestamp").
   /// Empty for a clean, complete trace.
@@ -68,17 +84,30 @@ struct ProfileEntry {
   double max_us = 0.0;
 };
 
+/// Per-process attribution row for merged multi-process traces: how much
+/// traced time each worker (or the supervisor) contributed.
+struct ProcessEntry {
+  int process_id = 1;
+  std::string name;  // process_name metadata, "" when unlabeled
+  long long span_count = 0;
+  double total_us = 0.0;  // top-level (unnested) span time in this process
+};
+
 struct TraceProfile {
   /// Rows sorted by self time, largest first (ties by name).
   std::vector<ProfileEntry> entries;
-  /// The spans in layout order (thread, then start time) with nesting
-  /// depth resolved; to_flame_svg() draws from these.
+  /// The spans in layout order (process, thread, then start time) with
+  /// nesting depth resolved; to_flame_svg() draws from these.
   std::vector<ProfileSpan> spans;
   /// Thread labels carried over from the trace's metadata events.
-  std::map<int, std::string> thread_names;
+  std::map<std::pair<int, int>, std::string> thread_names;
+  /// One row per pid, ordered by pid (supervisor first under the farm's
+  /// lane scheme); single-process traces get one unnamed row.
+  std::vector<ProcessEntry> processes;
   /// Sum of top-level (unnested) span durations across all threads: the
   /// traced wall time, which per-thread self times sum back to.
   double root_total_us = 0.0;
+  int process_count = 0;
   int thread_count = 0;
   std::size_t span_count = 0;
   std::vector<std::string> notes;  // carried over from the loader
@@ -87,14 +116,15 @@ struct TraceProfile {
   [[nodiscard]] std::string to_text() const;
   /// {"schema":"fpkit.profile.v1","entries":[...],...} (canonical JSON).
   [[nodiscard]] Json to_json() const;
-  /// Flamegraph-style SVG: one band of depth rows per thread, span width
-  /// proportional to duration, colored by category. Self-contained and
-  /// deterministic for a fixed trace.
+  /// Flamegraph-style SVG: one band of depth rows per (process, thread),
+  /// span width proportional to duration, colored by category. Merged
+  /// farm traces render the supervisor and each worker as parallel
+  /// process bands. Self-contained and deterministic for a fixed trace.
   [[nodiscard]] std::string to_flame_svg() const;
 };
 
 /// Aggregates a loaded trace (per-name self/total/count, nesting resolved
-/// per thread by interval containment).
+/// per (process, thread) by interval containment).
 [[nodiscard]] TraceProfile profile_trace(const ChromeTrace& trace);
 
 }  // namespace fp::obs

@@ -13,7 +13,7 @@
 namespace fp::obs {
 
 namespace detail {
-std::atomic<bool> g_progress{false};
+std::atomic<int> g_progress{0};
 }  // namespace detail
 
 namespace {
@@ -30,6 +30,7 @@ struct ProgressState {
   std::chrono::steady_clock::time_point last_render;
   bool rendered = false;      // an in-place line is on screen
   std::size_t last_width = 0;  // width of that line, for clean erasing
+  ProgressSnapshot snapshot;   // latest tick, when capture is armed
 };
 
 ProgressState& state() {
@@ -68,10 +69,29 @@ void emit(ProgressState& s, const std::string& line) {
   }
 }
 
+/// True when the given mode bit is set.
+bool mode_on(int bit) {
+  return (detail::g_progress.load(std::memory_order_relaxed) & bit) != 0;
+}
+
+void set_mode_bit(int bit, bool on) {
+  int current = detail::g_progress.load(std::memory_order_relaxed);
+  int wanted = on ? (current | bit) : (current & ~bit);
+  while (!detail::g_progress.compare_exchange_weak(
+      current, wanted, std::memory_order_relaxed,
+      std::memory_order_relaxed)) {
+    wanted = on ? (current | bit) : (current & ~bit);
+  }
+}
+
 }  // namespace
 
 void set_progress_enabled(bool on) {
-  detail::g_progress.store(on, std::memory_order_relaxed);
+  set_mode_bit(detail::kProgressRender, on);
+}
+
+void set_progress_capture(bool on) {
+  set_mode_bit(detail::kProgressCapture, on);
 }
 
 bool arm_progress_from_env() {
@@ -117,6 +137,13 @@ void progress_stage(std::string_view stage) {
   const auto now = std::chrono::steady_clock::now();
   s.stage.assign(stage);
   s.stage_start = now;
+  if (mode_on(detail::kProgressCapture)) {
+    s.snapshot.stage.assign(stage);
+    s.snapshot.done = 0;
+    s.snapshot.total = 0;
+    s.snapshot.valid = true;
+  }
+  if (!mode_on(detail::kProgressRender)) return;
   s.last_render = now;
   emit(s, progress_line(stage, 0, 0, 0.0));
 }
@@ -126,10 +153,19 @@ void progress_tick(std::string_view stage, long long done, long long total) {
   ProgressState& s = state();
   const std::lock_guard<std::mutex> lock(s.mutex);
   const auto now = std::chrono::steady_clock::now();
-  if (s.stage != stage) {
+  const bool stage_changed = s.stage != stage;
+  if (stage_changed) {
     s.stage.assign(stage);
     s.stage_start = now;
-  } else {
+  }
+  if (mode_on(detail::kProgressCapture)) {
+    s.snapshot.stage.assign(stage);
+    s.snapshot.done = done;
+    s.snapshot.total = total;
+    s.snapshot.valid = true;
+  }
+  if (!mode_on(detail::kProgressRender)) return;
+  if (!stage_changed) {
     const double interval =
         stderr_is_tty() ? kTtyIntervalS : kLineIntervalS;
     // Always render the final tick so a finished stage shows 100%.
@@ -143,8 +179,28 @@ void progress_tick(std::string_view stage, long long done, long long total) {
                         seconds_between(s.stage_start, now)));
 }
 
+ProgressSnapshot progress_snapshot() {
+  ProgressState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.snapshot;
+}
+
+void progress_render(const std::string& line, bool final) {
+  if (!mode_on(detail::kProgressRender)) return;
+  ProgressState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto now = std::chrono::steady_clock::now();
+  const double interval = stderr_is_tty() ? kTtyIntervalS : kLineIntervalS;
+  if (!final && s.rendered &&
+      seconds_between(s.last_render, now) < interval) {
+    return;
+  }
+  s.last_render = now;
+  emit(s, line);
+}
+
 void progress_finish() {
-  if (!progress_enabled()) return;
+  if (!mode_on(detail::kProgressRender)) return;
   ProgressState& s = state();
   const std::lock_guard<std::mutex> lock(s.mutex);
   if (!s.rendered) return;

@@ -18,20 +18,49 @@
 namespace fp::obs {
 
 namespace detail {
-extern std::atomic<bool> g_progress;
+// Bitmask: render heartbeats to stderr, and/or capture the latest tick
+// for progress_snapshot(). One atomic keeps the disabled fast path at a
+// single relaxed load.
+inline constexpr int kProgressRender = 1;
+inline constexpr int kProgressCapture = 2;
+extern std::atomic<int> g_progress;
 }  // namespace detail
 
-/// True when heartbeat sites render (one relaxed load).
+/// True when heartbeat sites do anything at all (one relaxed load).
 inline bool progress_enabled() {
-  return detail::g_progress.load(std::memory_order_relaxed);
+  return detail::g_progress.load(std::memory_order_relaxed) != 0;
 }
 
-/// Turns progress rendering on or off.
+/// Turns stderr heartbeat rendering on or off (capture is unaffected).
 void set_progress_enabled(bool on);
+
+/// Turns snapshot capture on or off (rendering is unaffected). Farm
+/// workers run with capture only: their ticks go to the heartbeat file,
+/// not to stderr, and the supervisor renders the folded farm line.
+void set_progress_capture(bool on);
 
 /// Arms progress when FPKIT_PROGRESS is set to anything but "" or "0";
 /// returns whether it armed. The CLI calls this next to --progress.
 bool arm_progress_from_env();
+
+/// The most recent tick, for code that forwards progress instead of
+/// rendering it (the farm worker's heartbeat thread).
+struct ProgressSnapshot {
+  std::string stage;
+  long long done = 0;
+  long long total = 0;
+  bool valid = false;  // false until the first stage/tick after arming
+};
+
+/// Returns the captured snapshot; `valid` is false while capture is off
+/// or before the first heartbeat arrives.
+[[nodiscard]] ProgressSnapshot progress_snapshot();
+
+/// Renders an externally composed line through the same throttle and
+/// \r-overwrite machinery as progress_tick (the farm supervisor's merged
+/// "[farm] ..." line). `final` bypasses the throttle so the last render
+/// always lands. No-op unless rendering is enabled.
+void progress_render(const std::string& line, bool final = false);
 
 /// Announces a new stage ("assign", "exchange", ...): resets the stage
 /// clock and renders one heartbeat immediately. No-op when disabled.

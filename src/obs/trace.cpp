@@ -23,6 +23,9 @@ struct TraceStore {
   std::vector<CounterRecord> counters;
   // thread id -> label; deliberately not cleared by reset_trace().
   std::map<int, std::string> thread_names;
+  // Cross-process identity; like the thread names it survives
+  // reset_trace() so a long-lived worker keeps its lane.
+  TraceProcess process;
 };
 
 TraceStore& store() {
@@ -94,6 +97,49 @@ std::string json_number(double value) {
 void set_tracing_enabled(bool on) {
   detail::g_tracing.store(on, std::memory_order_relaxed);
 }
+
+void set_trace_process(TraceProcess process) {
+  TraceStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.process = std::move(process);
+}
+
+TraceProcess trace_process() {
+  TraceStore& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.process;
+}
+
+bool apply_trace_parent(std::string_view parent) {
+  // "<trace-id>:<lane>[:<name>]", lane >= 1. The name may itself contain
+  // colons (job labels are free-form), so only the first two fields are
+  // split off.
+  const std::size_t first = parent.find(':');
+  if (first == std::string_view::npos || first == 0) return false;
+  const std::string_view rest = parent.substr(first + 1);
+  const std::size_t second = rest.find(':');
+  const std::string_view lane_text =
+      second == std::string_view::npos ? rest : rest.substr(0, second);
+  if (lane_text.empty()) return false;
+  int lane = 0;
+  for (const char c : lane_text) {
+    if (c < '0' || c > '9') return false;
+    lane = lane * 10 + (c - '0');
+    if (lane > 1000000) return false;
+  }
+  if (lane < 1) return false;
+  TraceProcess process;
+  process.trace_id.assign(parent.substr(0, first));
+  process.pid = lane + 1;
+  process.sort_index = lane;
+  if (second != std::string_view::npos) {
+    process.name.assign(rest.substr(second + 1));
+  }
+  set_trace_process(std::move(process));
+  return true;
+}
+
+std::uint64_t trace_now_us() { return now_us(); }
 
 ScopedSpan::ScopedSpan(std::string_view name, std::string_view category) {
   if (!tracing_enabled()) return;
@@ -175,18 +221,42 @@ std::string trace_to_json() {
   const std::vector<SpanRecord> spans = trace_spans();
   const std::vector<CounterRecord> counters = trace_counters();
   const std::vector<std::pair<int, std::string>> names = thread_names();
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const TraceProcess process = trace_process();
+  // A default identity emits the historical single-process document byte
+  // for byte: pid 1, no process metadata, no otherData block.
+  const bool stamped = process.pid != 1 || process.sort_index != 0 ||
+                       !process.name.empty() || !process.trace_id.empty();
+  const std::string pid = std::to_string(process.pid);
+  std::string out = "{\"displayTimeUnit\":\"ms\",";
+  if (!process.trace_id.empty()) {
+    out += "\"otherData\":{\"trace_id\":\"";
+    json_escape_into(out, process.trace_id);
+    out += "\"},";
+  }
+  out += "\"traceEvents\":[";
   bool first = true;
   const auto comma = [&]() {
     if (!first) out += ",";
     first = false;
   };
-  // Thread-name metadata first, so viewers label every track before the
-  // first real event: main thread, exec workers, SA replicas, batch jobs.
+  // Process metadata first (when stamped), then thread-name metadata, so
+  // viewers label every track before the first real event: main thread,
+  // exec workers, SA replicas, batch jobs, farm worker processes.
+  if (stamped) {
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid +
+           ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape_into(out, process.name);
+    out += "\"}}";
+    comma();
+    out += "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" + pid +
+           ",\"tid\":0,\"args\":{\"sort_index\":" +
+           std::to_string(process.sort_index) + "}}";
+  }
   for (const auto& [tid, label] : names) {
     comma();
-    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
-           std::to_string(tid) + ",\"args\":{\"name\":\"";
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid +
+           ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":\"";
     json_escape_into(out, label);
     out += "\"}}";
   }
@@ -197,8 +267,8 @@ std::string trace_to_json() {
     out += "\",\"cat\":\"";
     json_escape_into(out, span.category);
     out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(span.start_us) +
-           ",\"dur\":" + std::to_string(span.duration_us) +
-           ",\"pid\":1,\"tid\":" + std::to_string(span.thread_id) +
+           ",\"dur\":" + std::to_string(span.duration_us) + ",\"pid\":" +
+           pid + ",\"tid\":" + std::to_string(span.thread_id) +
            ",\"args\":{\"depth\":" + std::to_string(span.depth) + "}}";
   }
   for (const CounterRecord& record : counters) {
@@ -206,8 +276,8 @@ std::string trace_to_json() {
     out += "{\"name\":\"";
     json_escape_into(out, record.name);
     out += "\",\"ph\":\"C\",\"ts\":" + std::to_string(record.time_us) +
-           ",\"pid\":1,\"tid\":" + std::to_string(record.thread_id) +
-           ",\"args\":{";
+           ",\"pid\":" + pid + ",\"tid\":" +
+           std::to_string(record.thread_id) + ",\"args\":{";
     for (std::size_t i = 0; i < record.values.size(); ++i) {
       if (i) out += ",";
       out += "\"";

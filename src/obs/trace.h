@@ -34,6 +34,35 @@ inline bool tracing_enabled() {
 /// Turns recording on or off; existing events are kept.
 void set_tracing_enabled(bool on);
 
+/// Cross-process identity stamped into exported traces so per-worker
+/// trace files can be stitched into one timeline (obs/merge.h). The
+/// default (pid 1, no name, no trace id) keeps single-process output
+/// byte-identical to what the tracer always emitted.
+struct TraceProcess {
+  int pid = 1;           // Chrome-trace pid; the farm assigns lanes
+  int sort_index = 0;    // process_sort_index metadata (viewer order)
+  std::string name;      // process_name metadata; empty = single-process
+  std::string trace_id;  // shared farm trace id; empty = standalone run
+};
+
+/// Installs this process's identity; trace_to_json() then emits
+/// process_name/process_sort_index metadata and stamps every event with
+/// the pid. Survives reset_trace().
+void set_trace_process(TraceProcess process);
+[[nodiscard]] TraceProcess trace_process();
+
+/// Parses a FPKIT_TRACE_PARENT value "<trace-id>:<lane>[:<name>]" (lane
+/// >= 1) and installs it as this process's identity: pid = lane + 1 and
+/// sort_index = lane, so the supervisor that assigned the lane keeps
+/// pid 1 / sort 0. Returns false (installing nothing) on malformed input.
+bool apply_trace_parent(std::string_view parent);
+
+/// Microseconds since this process's trace epoch (the steady-clock
+/// instant of first trace use). The farm supervisor samples this at
+/// spawn time to record each worker's epoch offset into the merged
+/// timeline (obs::TracePart::offset_us).
+[[nodiscard]] std::uint64_t trace_now_us();
+
 /// One finished span, as stored by the tracer.
 struct SpanRecord {
   std::string name;

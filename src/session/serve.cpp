@@ -72,10 +72,14 @@ bool PollingFdSource::next_line(std::string& line) {
 namespace {
 
 /// The daemon's mutable state: the loaded package (owning -- the session
-/// holds a non-owning pointer into it) and the live session.
+/// holds a non-owning pointer into it), the live session, and the watch
+/// baselines (metric snapshots the next delta is computed against).
 struct ServeState {
   std::unique_ptr<Package> package;
   std::unique_ptr<DesignSession> session;
+  bool watching = false;
+  std::map<std::string, long long> watch_counters;
+  std::map<std::string, double> watch_gauges;
 };
 
 long long require_int(const obs::Json& params, const std::string& key) {
@@ -288,6 +292,32 @@ obs::Json dispatch(ServeState& state, const ServeRequest& request,
   if (request.method == "stats") {
     return handle_stats(require_session(state));
   }
+  if (request.method == "watch") {
+    // Live telemetry (docs/OBSERVABILITY.md "Metrics rollup"): arms
+    // metrics collection and streams per-response deltas -- every later
+    // response (success or error) carries a top-level "watch" object
+    // with the counters that moved and the gauges that changed since the
+    // previous response. {"enable": false} turns the stream off.
+    const bool enable = param_bool(params, "enable", true);
+    obs::Json result = obs::Json::object();
+    if (enable) {
+      obs::set_metrics_enabled(true);
+      state.watch_counters = obs::MetricsRegistry::global().counters();
+      state.watch_gauges = obs::MetricsRegistry::global().gauges();
+      state.watching = true;
+      result.set("counters",
+                 obs::Json::number(static_cast<long long>(
+                     state.watch_counters.size())));
+      result.set("gauges", obs::Json::number(static_cast<long long>(
+                               state.watch_gauges.size())));
+    } else {
+      state.watching = false;
+      state.watch_counters.clear();
+      state.watch_gauges.clear();
+    }
+    result.set("watching", obs::Json::boolean(state.watching));
+    return result;
+  }
   if (request.method == "shutdown") {
     stop = true;
     obs::Json result = obs::Json::object();
@@ -297,6 +327,38 @@ obs::Json dispatch(ServeState& state, const ServeRequest& request,
     return result;
   }
   throw ProtocolError("unknown method \"" + request.method + "\"");
+}
+
+/// Appends the "watch" delta block to a response and advances the
+/// baselines: counters report their increment since the last response,
+/// gauges their new value; unchanged metrics are omitted.
+void attach_watch(ServeState& state, obs::Json& response) {
+  std::map<std::string, long long> counters =
+      obs::MetricsRegistry::global().counters();
+  std::map<std::string, double> gauges =
+      obs::MetricsRegistry::global().gauges();
+  obs::Json delta_counters = obs::Json::object();
+  for (const auto& [name, value] : counters) {
+    const auto it = state.watch_counters.find(name);
+    const long long before =
+        it == state.watch_counters.end() ? 0 : it->second;
+    if (value != before) {
+      delta_counters.set(name, obs::Json::number(value - before));
+    }
+  }
+  obs::Json delta_gauges = obs::Json::object();
+  for (const auto& [name, value] : gauges) {
+    const auto it = state.watch_gauges.find(name);
+    if (it == state.watch_gauges.end() || it->second != value) {
+      delta_gauges.set(name, obs::Json::number(value));
+    }
+  }
+  obs::Json watch = obs::Json::object();
+  watch.set("counters", std::move(delta_counters));
+  watch.set("gauges", std::move(delta_gauges));
+  response.set("watch", std::move(watch));
+  state.watch_counters = std::move(counters);
+  state.watch_gauges = std::move(gauges);
 }
 
 bool blank_line(const std::string& line) {
@@ -351,6 +413,7 @@ ServeOutcome run_serve(LineSource& source, std::ostream& out,
       if (obs::metrics_enabled()) obs::count("serve.errors");
       response = error_response(id, ErrorCode::Internal, error.what());
     }
+    if (state.watching) attach_watch(state, response);
     out << response.dump() << '\n' << std::flush;
     if (stop) {
       outcome.shutdown = true;

@@ -39,7 +39,7 @@ TEST(ProfileTest, SelfTotalArithmetic) {
   const obs::ChromeTrace trace = obs::parse_chrome_trace(handbuilt_trace());
   ASSERT_EQ(trace.spans.size(), 4u);
   EXPECT_FALSE(trace.degraded());
-  EXPECT_EQ(trace.thread_names.at(0), "main");
+  EXPECT_EQ(trace.thread_names.at({1, 0}), "main");
 
   const obs::TraceProfile profile = obs::profile_trace(trace);
   EXPECT_EQ(profile.span_count, 4u);

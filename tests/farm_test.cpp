@@ -11,6 +11,9 @@
 #include <chrono>
 #include <fstream>
 #include <filesystem>
+#include <iterator>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -23,6 +26,8 @@
 #include "farm/journal.h"
 #include "io/circuit_file.h"
 #include "obs/json.h"
+#include "obs/merge.h"
+#include "obs/profile.h"
 #include "package/circuit_generator.h"
 #include "util/error.h"
 
@@ -305,7 +310,9 @@ CliResult run_cli(
   options.set_env = std::move(env);
   // A farm test re-invoked under an outer artifact recorder must not
   // leak that recorder into the children under test.
-  options.unset_env = {"FPKIT_ARTIFACT_DIR", "FPKIT_TRACE", "FPKIT_FAULTS"};
+  options.unset_env = {"FPKIT_ARTIFACT_DIR", "FPKIT_TRACE", "FPKIT_FAULTS",
+                       "FPKIT_TRACE_DIR", "FPKIT_TRACE_PARENT",
+                       "FPKIT_PROGRESS", "FPKIT_PROGRESS_CAPTURE"};
   options.stdout_path = dir + "/" + tag + ".out";
   options.stderr_path = dir + "/" + tag + ".err";
   exec::Child child = exec::Child::spawn(options);
@@ -378,6 +385,97 @@ TEST(FarmEndToEndTest, FarmTreeMatchesSingleProcessBatch) {
   ASSERT_TRUE(compare.status.exited);
   EXPECT_EQ(compare.status.code, 0)
       << compare.out << "\n" << compare.err;
+}
+
+TEST(FarmEndToEndTest, TracedFarmMergesTimelinesAndRollsUpMetrics) {
+  const std::string dir = scratch_dir();
+  write_fixture(dir);
+  const CliResult farm = run_cli(
+      dir, "farm",
+      {"farm", dir + "/circuit.fp", "--jobs-file", dir + "/jobs.txt",
+       "--out", dir + "/farm", "--workers", "2", "--trace"});
+  ASSERT_TRUE(farm.status.exited) << farm.err;
+  ASSERT_EQ(farm.status.code, 0) << farm.err;
+
+  // One merged Chrome trace with a process band per worker attempt plus
+  // the supervisor, all sharing one trace id.
+  const obs::ChromeTrace trace =
+      obs::load_chrome_trace(dir + "/farm/trace.json");
+  EXPECT_FALSE(trace.trace_id.empty());
+  ASSERT_GE(trace.process_names.size(), 4u);  // supervisor + 3 jobs
+  EXPECT_EQ(trace.process_names.at(1), "supervisor");
+  std::set<int> worker_pids;
+  for (const obs::ProfileSpan& span : trace.spans) {
+    if (span.process_id > 1) worker_pids.insert(span.process_id);
+  }
+  EXPECT_GE(worker_pids.size(), 2u)
+      << "worker spans must land in distinct process lanes";
+
+  // The farm-level metrics rollup: every summed counter equals the sum
+  // over the per-worker metrics snapshots.
+  const obs::TraceIndex index = obs::trace_index_from_json(
+      obs::json_load(dir + "/farm/trace/index.json"));
+  std::map<std::string, double> summed;
+  for (const obs::TracePart& part : index.parts) {
+    if (part.name == "supervisor") continue;
+    const std::string metrics_path =
+        dir + "/farm/trace/" +
+        part.file.substr(0, part.file.rfind('/')) + "/metrics.json";
+    const Json worker = obs::json_load(metrics_path);
+    for (const auto& [name, value] : worker.at("counters").fields()) {
+      summed[name] += value.as_number();
+    }
+  }
+  EXPECT_FALSE(summed.empty());
+  const Json rollup = obs::json_load(dir + "/farm/metrics.json");
+  for (const auto& [name, value] : summed) {
+    ASSERT_TRUE(rollup.at("counters").has(name)) << name;
+    EXPECT_DOUBLE_EQ(rollup.at("counters").at(name).as_number(), value)
+        << name;
+  }
+
+  // Re-merging the parts reproduces the farm's own merged trace byte for
+  // byte (the CI determinism check), and --follow sees the finished farm.
+  const CliResult merge = run_cli(
+      dir, "merge",
+      {"dash", "--merge", dir + "/farm", "--out", dir + "/remerged.json"});
+  ASSERT_TRUE(merge.status.exited) << merge.err;
+  ASSERT_EQ(merge.status.code, 0) << merge.err;
+  std::ifstream a(dir + "/farm/trace.json"), b(dir + "/remerged.json");
+  const std::string merged_a((std::istreambuf_iterator<char>(a)),
+                             std::istreambuf_iterator<char>());
+  const std::string merged_b((std::istreambuf_iterator<char>(b)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_FALSE(merged_a.empty());
+  EXPECT_EQ(merged_a, merged_b);
+
+  const CliResult follow = run_cli(
+      dir, "follow", {"dash", "--follow", dir + "/farm"});
+  ASSERT_TRUE(follow.status.exited) << follow.err;
+  EXPECT_EQ(follow.status.code, 0) << follow.err;
+  EXPECT_NE(follow.out.find("3/3 job(s) done"), std::string::npos)
+      << follow.out;
+}
+
+TEST(FarmEndToEndTest, UntracedFarmLeavesNoTraceArtifacts) {
+  const std::string dir = scratch_dir();
+  write_fixture(dir);
+  const CliResult farm = run_cli(
+      dir, "farm",
+      {"farm", dir + "/circuit.fp", "--jobs-file", dir + "/jobs.txt",
+       "--out", dir + "/farm", "--workers", "2"});
+  ASSERT_TRUE(farm.status.exited) << farm.err;
+  ASSERT_EQ(farm.status.code, 0) << farm.err;
+  // The disabled path stays disabled: no merged trace, no trace dir.
+  EXPECT_FALSE(fs::exists(dir + "/farm/trace.json"));
+  EXPECT_FALSE(fs::exists(dir + "/farm/trace"));
+  // But the metrics rollup-free manifest still carries the host rollup
+  // aggregated from the per-worker manifests.
+  const Json manifest = load_manifest(dir + "/farm");
+  const Json& host = manifest.at("extra").at("host_rollup");
+  EXPECT_GE(host.at("jobs_sampled").as_number(), 3.0);
+  EXPECT_GT(host.at("peak_rss_bytes").as_number(), 0.0);
+  EXPECT_GE(host.at("min_cores").as_number(), 1.0);
 }
 
 TEST(FarmEndToEndTest, AbortingWorkerIsContainedRetriedAndConverges) {
@@ -505,7 +603,9 @@ TEST(FarmEndToEndTest, KilledSupervisorResumesToEquivalentTree) {
                   dir + "/circuit.fp", "--jobs-file=" + dir + "/jobs.txt",
                   "--out=" + dir + "/farm", "--workers=1"};
   options.set_env = {{"FPKIT_FARM_WORKER_STALL_MS", "400"}};
-  options.unset_env = {"FPKIT_ARTIFACT_DIR", "FPKIT_TRACE", "FPKIT_FAULTS"};
+  options.unset_env = {"FPKIT_ARTIFACT_DIR", "FPKIT_TRACE", "FPKIT_FAULTS",
+                       "FPKIT_TRACE_DIR", "FPKIT_TRACE_PARENT",
+                       "FPKIT_PROGRESS", "FPKIT_PROGRESS_CAPTURE"};
   options.stdout_path = dir + "/victim.out";
   options.stderr_path = dir + "/victim.err";
   exec::Child supervisor = exec::Child::spawn(options);
@@ -545,7 +645,9 @@ TEST(FarmEndToEndTest, SigtermDrainsWithDistinctExitCodeThenResumes) {
                   dir + "/circuit.fp", "--jobs-file=" + dir + "/jobs.txt",
                   "--out=" + dir + "/farm", "--workers=1"};
   options.set_env = {{"FPKIT_FARM_WORKER_STALL_MS", "400"}};
-  options.unset_env = {"FPKIT_ARTIFACT_DIR", "FPKIT_TRACE", "FPKIT_FAULTS"};
+  options.unset_env = {"FPKIT_ARTIFACT_DIR", "FPKIT_TRACE", "FPKIT_FAULTS",
+                       "FPKIT_TRACE_DIR", "FPKIT_TRACE_PARENT",
+                       "FPKIT_PROGRESS", "FPKIT_PROGRESS_CAPTURE"};
   options.stdout_path = dir + "/drain.out";
   options.stderr_path = dir + "/drain.err";
   exec::Child supervisor = exec::Child::spawn(options);

@@ -248,6 +248,43 @@ class CancellingSource final : public LineSource {
   CancelToken* cancel_;
 };
 
+TEST(Serve, WatchStreamsMetricDeltas) {
+  const std::string dir = scratch_dir();
+  const std::string circuit = write_circuit(dir);
+  std::vector<Json> responses;
+  run_script({R"({"id": 1, "method": "watch"})",
+              load_request(circuit, 12),
+              R"({"id": 3, "method": "evaluate", "params": {"ir": true}})",
+              R"({"id": 4, "method": "watch", "params": {"enable": false}})",
+              R"({"id": 5, "method": "stats"})"},
+             responses);
+  ASSERT_EQ(responses.size(), 5u);
+  for (const Json& response : responses) {
+    EXPECT_TRUE(response.at("ok").as_bool()) << response.dump();
+  }
+  // Arming: the ack carries the watching flag and (empty) first deltas.
+  EXPECT_TRUE(responses[0].at("result").at("watching").as_bool());
+  ASSERT_TRUE(responses[0].has("watch"));
+
+  // Every later response streams the counters that moved since the one
+  // before. The load incremented its own per-method counter exactly once.
+  const Json& load_delta = responses[1].at("watch").at("counters");
+  EXPECT_DOUBLE_EQ(load_delta.at("serve.method.load").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(load_delta.at("serve.requests").as_number(), 1.0);
+  EXPECT_FALSE(load_delta.has("serve.method.evaluate"));
+  const Json& eval_delta = responses[2].at("watch").at("counters");
+  EXPECT_DOUBLE_EQ(eval_delta.at("serve.method.evaluate").as_number(), 1.0);
+  EXPECT_FALSE(eval_delta.has("serve.method.load"));
+  // The IR evaluate drove the solver, and its activity shows as deltas.
+  EXPECT_GE(eval_delta.at("solver.solves").as_number(), 1.0);
+
+  // Disabling stops the stream: neither the ack nor later responses
+  // carry a watch block.
+  EXPECT_FALSE(responses[3].at("result").at("watching").as_bool());
+  EXPECT_FALSE(responses[3].has("watch"));
+  EXPECT_FALSE(responses[4].has("watch"));
+}
+
 TEST(Serve, CancellationDrainsWithExitCodeFive) {
   const std::string dir = scratch_dir();
   const std::string circuit = write_circuit(dir);

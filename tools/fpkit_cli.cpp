@@ -58,12 +58,15 @@
 //   5  interrupted (SIGINT/SIGTERM graceful drain; best-so-far artifacts
 //      were still flushed; a farm is resumable with --resume)
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <thread>
 
 #include "analysis/check.h"
 #include "analysis/config.h"
@@ -76,11 +79,13 @@
 #include "codesign/report.h"
 #include "exec/exec.h"
 #include "farm/farm.h"
+#include "farm/journal.h"
 #include "io/assignment_file.h"
 #include "io/circuit_file.h"
 #include "obs/artifact.h"
 #include "obs/dash.h"
 #include "obs/json.h"
+#include "obs/merge.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/progress.h"
@@ -149,6 +154,10 @@ int usage() {
                " dashboard (docs/DASHBOARD.md)\n"
                "  dash     --profile <trace.json> [--format text|json]"
                " [--out f] [--flame f.svg]\n"
+               "  dash     --merge <farm-dir> [--out merged.json]   stitch"
+               " per-worker traces\n"
+               "  dash     --follow <farm-dir> [--poll-ms M]   live farm"
+               " progress from the journal\n"
                "  serve    [--mesh K] [--lambda L] [--rho R] [--phi P]"
                " [--no-warm-start]\n"
                "           newline-delimited JSON-RPC session daemon on"
@@ -950,6 +959,86 @@ int dash_profile(const ArgParser& args, const std::string& trace_path) {
   return 0;
 }
 
+/// `fpkit dash --merge <farm-dir>`: re-stitch a farm's per-worker trace
+/// parts (written under <dir>/trace/ with an index.json) into one
+/// multi-process Chrome trace. Deterministic: merging the same parts
+/// twice yields byte-identical output, which CI exploits to validate the
+/// farm's own merged trace.
+int dash_merge(const ArgParser& args, const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::string trace_dir = dir;
+  if (!fs::exists(trace_dir + "/index.json") &&
+      fs::exists(dir + "/trace/index.json")) {
+    trace_dir = dir + "/trace";
+  }
+  require(fs::exists(trace_dir + "/index.json"),
+          "dash --merge: no trace index under '" + dir +
+              "' (expected <dir>/index.json or <dir>/trace/index.json)");
+  const obs::MergedTrace merged = obs::merge_trace_dir(trace_dir);
+  for (const std::string& note : merged.notes) {
+    std::fprintf(stderr, "dash --merge: %s\n", note.c_str());
+  }
+  const std::string out_path = args.get_string("out", "merged_trace.json");
+  std::ofstream out(out_path);
+  out << merged.json;
+  require(out.good(), "dash: cannot write '" + out_path + "'");
+  std::printf("wrote %s (%zu note(s))\n", out_path.c_str(),
+              merged.notes.size());
+  return 0;
+}
+
+/// `fpkit dash --follow <farm-dir>`: poll the farm journal read-only
+/// (no lock) and render a live progress line until every job reaches a
+/// terminal state. Works on a finished farm too -- it renders the final
+/// tally once and exits.
+int dash_follow(const ArgParser& args, const std::string& dir) {
+  const long long poll_ms = args.get_int("poll-ms", 250);
+  require(poll_ms >= 10, "dash --follow: --poll-ms must be >= 10");
+  obs::set_progress_enabled(true);
+  while (true) {
+    const farm::JournalState st = farm::replay_journal(dir);
+    const std::size_t total = st.jobs.size();
+    const std::size_t done = st.done_count();
+    const std::size_t failed = st.failed_count();
+    const std::size_t running = st.running_count();
+    const std::size_t terminal = done + failed;
+    const bool finished =
+        st.completed || (total > 0 && terminal == total);
+    const double elapsed =
+        st.last_event_t > st.first_event_t && st.first_event_t > 0.0
+            ? st.last_event_t - st.first_event_t
+            : 0.0;
+    char line[200];
+    const double pct =
+        total > 0 ? 100.0 * static_cast<double>(terminal) /
+                        static_cast<double>(total)
+                  : 0.0;
+    if (!finished && terminal > 0 && terminal < total && elapsed > 0.0) {
+      const double eta = elapsed *
+                         static_cast<double>(total - terminal) /
+                         static_cast<double>(terminal);
+      std::snprintf(line, sizeof line,
+                    "[farm] %3.0f%% (%zu/%zu jobs, %zu running, %zu "
+                    "failed) eta %.1fs",
+                    pct, terminal, total, running, failed, eta);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "[farm] %3.0f%% (%zu/%zu jobs, %zu running, %zu "
+                    "failed)",
+                    pct, terminal, total, running, failed);
+    }
+    obs::progress_render(line, /*final=*/finished);
+    if (finished) {
+      obs::progress_finish();
+      std::printf("farm %s: %zu/%zu job(s) done, %zu failed%s\n",
+                  dir.c_str(), done, total, failed,
+                  st.completed ? "" : " (no farm_done marker)");
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+}
+
 /// `fpkit dash <artifact-dir>...`: scan for fpkit.run.v1 artifacts and
 /// render the trend dashboard. Exit contract mirrors `fpkit compare`:
 /// 0 ok / 3 when --max-slowdown is set and a gated slowdown was flagged /
@@ -957,6 +1046,10 @@ int dash_profile(const ArgParser& args, const std::string& trace_path) {
 int cmd_dash(const ArgParser& args) {
   const std::string trace_path = args.get_string("profile", "");
   if (!trace_path.empty()) return dash_profile(args, trace_path);
+  const std::string merge_dir = args.get_string("merge", "");
+  if (!merge_dir.empty()) return dash_merge(args, merge_dir);
+  const std::string follow_dir = args.get_string("follow", "");
+  if (!follow_dir.empty()) return dash_follow(args, follow_dir);
 
   require(!args.positional().empty(),
           "dash: need at least one artifact directory "
@@ -1071,6 +1164,7 @@ int dispatch(const std::string& command, const ArgParser& args) {
 struct ObsPaths {
   std::string trace;
   std::string metrics;
+  std::string trace_dir;  // FPKIT_TRACE_DIR: farm-worker dump directory
 };
 
 ObsPaths arm_observability(const ArgParser& args,
@@ -1081,12 +1175,36 @@ ObsPaths arm_observability(const ArgParser& args,
     if (const char* env = std::getenv("FPKIT_TRACE")) paths.trace = env;
   }
   paths.metrics = args.get_string("metrics", "");
+  // Farm-worker trace plumbing (docs/OBSERVABILITY.md "Multi-process
+  // tracing"): the supervisor hands the child a lane in the shared
+  // timeline (FPKIT_TRACE_PARENT) and a directory to dump trace +
+  // metrics into (FPKIT_TRACE_DIR). Generic across subcommands, so any
+  // future multi-process driver can reuse the same channel.
+  if (const char* env = std::getenv("FPKIT_TRACE_DIR")) {
+    if (*env != '\0') {
+      paths.trace_dir = env;
+      if (const char* parent = std::getenv("FPKIT_TRACE_PARENT")) {
+        if (!obs::apply_trace_parent(parent)) {
+          std::fprintf(stderr,
+                       "fpkit: malformed FPKIT_TRACE_PARENT '%s' ignored\n",
+                       parent);
+        }
+      }
+    }
+  }
   // Live progress heartbeat (docs/DASHBOARD.md): stderr-only, bit-
-  // identical results either way.
+  // identical results either way. FPKIT_PROGRESS_CAPTURE arms the
+  // silent capture mode (farm workers: ticks feed the heartbeat file,
+  // nothing is rendered).
   if (args.has("progress")) {
     obs::set_progress_enabled(true);
   } else {
     obs::arm_progress_from_env();
+  }
+  if (const char* env = std::getenv("FPKIT_PROGRESS_CAPTURE")) {
+    if (*env != '\0' && std::string_view(env) != "0") {
+      obs::set_progress_capture(true);
+    }
   }
   // The flight recorder wants the full flight: an armed artifact dir
   // turns on both metrics and tracing. `compare` and `dash` read
@@ -1101,11 +1219,15 @@ ObsPaths arm_observability(const ArgParser& args,
       }
     }
   }
-  if (!paths.trace.empty() || g_artifact.active()) {
+  // A bare --trace (no file) still arms recording: `fpkit farm --trace`
+  // publishes its merged timeline into <out>/trace.json without needing
+  // a standalone supervisor trace path.
+  if (args.has("trace") || !paths.trace_dir.empty() ||
+      g_artifact.active()) {
     obs::set_tracing_enabled(true);
   }
-  if (!paths.trace.empty() || !paths.metrics.empty() ||
-      g_artifact.active()) {
+  if (args.has("trace") || !paths.metrics.empty() ||
+      !paths.trace_dir.empty() || g_artifact.active()) {
     obs::set_metrics_enabled(true);
   }
   return paths;
@@ -1123,6 +1245,13 @@ void save_observability(const ObsPaths& paths) {
   if (!paths.metrics.empty()) {
     obs::MetricsRegistry::global().save(paths.metrics);
     std::printf("wrote %s\n", paths.metrics.c_str());
+  }
+  // Farm-worker dump: silent (worker stdout is captured and diffed per
+  // attempt), best-effort on the error path like the flags above.
+  if (!paths.trace_dir.empty()) {
+    std::filesystem::create_directories(paths.trace_dir);
+    obs::save_trace(paths.trace_dir + "/trace.json");
+    obs::MetricsRegistry::global().save(paths.trace_dir + "/metrics.json");
   }
 }
 
